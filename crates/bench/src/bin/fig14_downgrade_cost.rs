@@ -1,0 +1,40 @@
+//! Figure 14: feature-downgrade emulation cost per benchmark — each
+//! code region compiled for a richer feature set, run on an
+//! artificially constrained core with binary-translation-style
+//! emulation.
+
+use cisa_migrate::downgrade_cost;
+use cisa_workloads::all_benchmarks;
+
+fn main() {
+    let rows: [(&str, &str, &str); 9] = [
+        ("64b to 32b", "microx86-32D-64W", "microx86-32D-32W"),
+        ("64 to 32 registers", "microx86-64D-32W", "microx86-32D-32W"),
+        ("64 to 16 registers", "microx86-64D-32W", "microx86-16D-32W"),
+        ("32 to 16 registers", "microx86-32D-32W", "microx86-16D-32W"),
+        ("64 to 8 registers", "microx86-64D-32W", "microx86-8D-32W"),
+        ("32 to 8 registers", "microx86-32D-32W", "microx86-8D-32W"),
+        ("16 to 8 registers", "microx86-16D-32W", "microx86-8D-32W"),
+        ("x86 to microx86", "x86-32D-32W", "microx86-32D-32W"),
+        ("full to partial pred", "x86-32D-64W-P", "x86-32D-64W"),
+    ];
+    let benches = all_benchmarks();
+    println!("Figure 14: feature downgrade cost (% slowdown; negative = speedup)");
+    print!("{:<22}", "downgrade");
+    for b in &benches {
+        print!("{:>11}", b.name);
+    }
+    println!("{:>8}", "mean");
+    for (label, from, to) in rows {
+        print!("{:<22}", label);
+        let mut mean = 0.0;
+        for b in &benches {
+            let spec = &b.phases[0];
+            let c = downgrade_cost(spec, from.parse().unwrap(), to.parse().unwrap());
+            mean += c;
+            print!("{:>10.1}%", (c - 1.0) * 100.0);
+        }
+        println!("{:>7.1}%", (mean / benches.len() as f64 - 1.0) * 100.0);
+    }
+    println!("\npaper: 64->32 regs nearly free; ->16 ~2.7%; ->8 ~33.5%; no-full-pred ~5.5%; x86->microx86 ~4.2%");
+}

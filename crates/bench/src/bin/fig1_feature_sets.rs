@@ -1,0 +1,24 @@
+//! Figure 1: derivation of the 26 composite feature sets from the
+//! superset ISA.
+
+use cisa_isa::{Complexity, FeatureSet};
+
+fn main() {
+    let all = FeatureSet::all();
+    println!("Figure 1: composite feature sets derived from the superset ISA");
+    println!("superset: {}", FeatureSet::superset());
+    println!();
+    for c in [Complexity::X86, Complexity::MicroX86] {
+        let name = match c {
+            Complexity::X86 => "x86+SSE",
+            Complexity::MicroX86 => "microx86",
+        };
+        println!("{name}:");
+        for fs in all.iter().filter(|f| f.complexity() == c) {
+            println!("  {:<22} features: {}", fs.to_string(), fs.feature_flags().join(", "));
+        }
+    }
+    println!();
+    println!("total: {} feature sets (paper: 26)", all.len());
+    assert_eq!(all.len(), 26);
+}

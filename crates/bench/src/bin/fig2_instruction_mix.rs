@@ -1,0 +1,61 @@
+//! Figure 2: SPEC CPU2006 dynamic micro-op mix on microx86-8D-32W,
+//! x86-64, and the superset ISA, normalized to x86-64.
+
+use cisa_compiler::{compile, CompileOptions};
+use cisa_isa::FeatureSet;
+use cisa_workloads::{all_benchmarks, generate};
+
+#[derive(Default, Clone, Copy)]
+struct Mix {
+    loads: f64,
+    stores: f64,
+    int: f64,
+    fp: f64,
+    branch: f64,
+    total: f64,
+}
+
+fn mix_for(bench: &str, fs: &FeatureSet) -> Mix {
+    let opts = CompileOptions::default();
+    let mut m = Mix::default();
+    for b in all_benchmarks().into_iter().filter(|b| b.name == bench) {
+        for spec in &b.phases {
+            let code = compile(&generate(spec), fs, &opts).expect("compiles");
+            m.loads += code.stats.loads();
+            m.stores += code.stats.stores();
+            m.int += code.stats.int_ops();
+            m.fp += code.stats.fp_vec_ops();
+            m.branch += code.stats.branches();
+            m.total += code.stats.total_uops();
+        }
+    }
+    m
+}
+
+fn main() {
+    let isas: [(&str, FeatureSet); 3] = [
+        ("microx86-8D-32W", FeatureSet::minimal()),
+        ("x86-64", FeatureSet::x86_64()),
+        ("superset", FeatureSet::superset()),
+    ];
+    println!("Figure 2: dynamic micro-op mix normalized to x86-64");
+    println!("{:<12} {:<16} {:>7} {:>7} {:>7} {:>7} {:>8} {:>7}",
+        "benchmark", "isa", "loads", "stores", "int", "fp", "branches", "total");
+    let benches: Vec<&str> = all_benchmarks().iter().map(|b| b.name).collect();
+    for bench in &benches {
+        let base = mix_for(bench, &isas[1].1);
+        for (name, fs) in &isas {
+            let m = mix_for(bench, fs);
+            println!(
+                "{:<12} {:<16} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>8.3} {:>7.3}",
+                bench, name,
+                m.loads / base.loads.max(1e-9),
+                m.stores / base.stores.max(1e-9),
+                m.int / base.int.max(1e-9),
+                if base.fp > 1e-9 { m.fp / base.fp } else { 1.0 },
+                m.branch / base.branch.max(1e-9),
+                m.total / base.total.max(1e-9),
+            );
+        }
+    }
+}

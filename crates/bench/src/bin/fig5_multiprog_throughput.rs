@@ -1,0 +1,34 @@
+//! Figure 5: multiprogrammed workload throughput of the five system
+//! organizations under peak-power and area budgets (higher is better,
+//! normalized to the homogeneous x86-64 design at each budget).
+
+use cisa_bench::{Harness, AREA_BUDGETS, POWER_BUDGETS};
+use cisa_explore::multicore::Objective;
+use cisa_explore::{search_system, SystemKind};
+
+fn main() {
+    let h = Harness::load();
+    let eval = h.evaluator();
+    let cfg = h.search_config();
+
+    for (axis_name, budgets) in [("Peak Power Budget", &POWER_BUDGETS), ("Area Budget", &AREA_BUDGETS)] {
+        println!("\nFigure 5 ({axis_name}): multiprogrammed throughput, normalized to homogeneous");
+        println!("{:<50} {}", "design", budgets.map(|(n, _)| format!("{n:>10}")).join(" "));
+        let mut base = Vec::new();
+        for kind in SystemKind::ALL {
+            let mut cells = Vec::new();
+            for (bi, (_, budget)) in budgets.iter().enumerate() {
+                let score = search_system(&eval, kind, Objective::Throughput, *budget, &cfg)
+                    .map(|r| r.score)
+                    .unwrap_or(f64::NAN);
+                if kind == SystemKind::Homogeneous {
+                    base.push(score);
+                }
+                let norm = score / base.get(bi).copied().unwrap_or(score);
+                cells.push(format!("{norm:>10.3}"));
+            }
+            println!("{:<50} {}", kind.label(), cells.join(" "));
+        }
+    }
+    println!("\npaper: composite-ISA outperforms single-ISA heterogeneous by ~17.6% on average, ~30% at 20W");
+}

@@ -1,0 +1,30 @@
+//! Figure 8: single-thread performance and EDP under area budgets.
+
+use cisa_bench::{Harness, AREA_BUDGETS};
+use cisa_explore::multicore::Objective;
+use cisa_explore::{search_system, SystemKind};
+
+fn main() {
+    let h = Harness::load();
+    let eval = h.evaluator();
+    let cfg = h.search_config();
+    for (metric, objective) in [
+        ("performance (speedup, higher better)", Objective::SingleThread),
+        ("EDP gain (higher better)", Objective::SingleEdp),
+    ] {
+        println!("\nFigure 8: single-thread {metric} under area budgets");
+        println!("{:<50} {}", "design", AREA_BUDGETS.map(|(n, _)| format!("{n:>10}")).join(" "));
+        for kind in SystemKind::ALL {
+            let cells: Vec<String> = AREA_BUDGETS
+                .iter()
+                .map(|(_, b)| {
+                    search_system(&eval, kind, objective, *b, &cfg)
+                        .map(|r| format!("{:>10.3}", r.score))
+                        .unwrap_or_else(|| format!("{:>10}", "-"))
+                })
+                .collect();
+            println!("{:<50} {}", kind.label(), cells.join(" "));
+        }
+    }
+    println!("\npaper: composite-ISA averages +20% speedup, -21% EDP vs single-ISA hetero under area budgets");
+}

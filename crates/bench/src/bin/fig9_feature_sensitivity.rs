@@ -1,0 +1,30 @@
+//! Figure 9: performance degradation of feature-constrained
+//! composite-ISA designs at a 48mm^2 budget (multiprogrammed
+//! throughput), relative to the unconstrained search.
+
+use cisa_bench::Harness;
+use cisa_explore::multicore::{search, Budget, Objective};
+use cisa_explore::{candidates, constrained_candidates, sensitivity_constraints, SystemKind};
+
+fn main() {
+    let h = Harness::load();
+    let eval = h.evaluator();
+    let cfg = h.search_config();
+    let budget = Budget::Area(48.0);
+    let all = candidates(&h.space, SystemKind::CompositeFull);
+    let free = search(&eval, &all, Objective::Throughput, budget, &cfg)
+        .expect("unconstrained search feasible")
+        .score;
+    println!("Figure 9: performance degradation under feature constraints (48mm2, throughput)");
+    println!("{:<22} {:>12} {:>14}", "constraint", "score", "degradation");
+    println!("{:<22} {:>12.3} {:>14}", "unconstrained", free, "0.0%");
+    for (name, constraint) in sensitivity_constraints() {
+        let cands = constrained_candidates(&h.space, &constraint);
+        let line = match search(&eval, &cands, Objective::Throughput, budget, &cfg) {
+            Some(r) => format!("{:<22} {:>12.3} {:>13.1}%", name, r.score, (1.0 - r.score / free) * 100.0),
+            None => format!("{:<22} {:>12} {:>14}", name, "-", "infeasible"),
+        };
+        println!("{line}");
+    }
+    println!("\npaper: constraining depth below 32 hurts most; excluding x86 hurts more than excluding microx86");
+}

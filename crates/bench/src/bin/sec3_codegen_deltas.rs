@@ -1,0 +1,61 @@
+//! Section III code-generation deltas, measured over all 49 phases:
+//!
+//! - register depth 32 -> 16: +3.7% stores, +10.3% loads, +3.5% integer
+//!   ops, +2.7% branches (spills, refills, rematerialization);
+//! - full predication: +0.6% dynamic micro-ops, -6.5% branches;
+//! - superset vs x86-64: -8.5% loads, -6.3% integer ops, -3.2% branches;
+//! - microx86-8D-32W vs x86-64: +28% memory refs, +11% micro-ops.
+
+use cisa_compiler::{compile, CodeStats, CompileOptions};
+use cisa_isa::FeatureSet;
+use cisa_workloads::{all_phases, generate};
+
+/// Per-phase stats for one ISA (phase order matches `all_phases`).
+fn per_phase(fs: &FeatureSet) -> Vec<CodeStats> {
+    let opts = CompileOptions::default();
+    all_phases()
+        .iter()
+        .map(|spec| compile(&generate(spec), fs, &opts).expect("phases compile").stats)
+        .collect()
+}
+
+/// Mean of per-phase ratios (the paper reports SPEC averages, so one
+/// spill-heavy benchmark cannot dominate the statistic).
+fn delta(a: &[CodeStats], b: &[CodeStats], f: impl Fn(&CodeStats) -> f64) -> String {
+    let mean = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| f(x) / f(y).max(1e-9))
+        .sum::<f64>()
+        / a.len() as f64;
+    format!("{:+.1}%", (mean - 1.0) * 100.0)
+}
+
+fn main() {
+    println!("Section III code-generation deltas (49 phases aggregated)\n");
+
+    let d32 = per_phase(&"x86-32D-64W".parse().unwrap());
+    let d16 = per_phase(&"x86-16D-64W".parse().unwrap());
+    println!("register depth 32 -> 16 (paper: +3.7% stores, +10.3% loads, +3.5% int, +2.7% branches):");
+    println!("  stores  {}", delta(&d16, &d32, |s| s.stores()));
+    println!("  loads   {}", delta(&d16, &d32, |s| s.loads()));
+    println!("  int ops {}", delta(&d16, &d32, |s| s.int_ops()));
+    println!("  branches{}", delta(&d16, &d32, |s| s.branches()));
+
+    let full = per_phase(&"x86-32D-64W-P".parse().unwrap());
+    println!("\nfull predication (paper: +0.6% micro-ops, -6.5% branches):");
+    println!("  micro-ops {}", delta(&full, &d32, |s| s.total_uops()));
+    println!("  branches  {}", delta(&full, &d32, |s| s.branches()));
+
+    let x8664 = per_phase(&FeatureSet::x86_64());
+    let sup = per_phase(&FeatureSet::superset());
+    println!("\nsuperset vs x86-64 (paper: -8.5% loads, -6.3% int, -3.2% branches):");
+    println!("  loads   {}", delta(&sup, &x8664, |s| s.loads()));
+    println!("  int ops {}", delta(&sup, &x8664, |s| s.int_ops()));
+    println!("  branches{}", delta(&sup, &x8664, |s| s.branches()));
+
+    let micro = per_phase(&FeatureSet::minimal());
+    println!("\nmicrox86-8D-32W vs x86-64 (paper: +28% memory refs, +11% micro-ops):");
+    println!("  memory refs {}", delta(&micro, &x8664, |s| s.mem_refs()));
+    println!("  micro-ops   {}", delta(&micro, &x8664, |s| s.total_uops()));
+}

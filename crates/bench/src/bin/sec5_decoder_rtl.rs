@@ -1,0 +1,44 @@
+//! Section V: decoder and ILD area/peak-power deltas from the
+//! structural RTL model (the paper's Synopsys DC synthesis stand-in).
+
+use cisa_decode::rtl;
+use cisa_isa::FeatureSet;
+
+fn main() {
+    let base = FeatureSet::x86_64();
+    println!("Section V: decoder RTL analysis (relative to the x86-64 decoder)");
+    println!();
+    let pct = |x: f64| format!("{:+.2}%", (x - 1.0) * 100.0);
+    for fs in [FeatureSet::superset(), "microx86-16D-32W".parse().unwrap()] {
+        let d = rtl::decoder_block(&fs);
+        let b = rtl::decoder_block(&base);
+        println!(
+            "{:<18} decoder: power {}, area {}   ({} simple, {} complex, msrom: {})",
+            fs.to_string(),
+            pct(d.peak_power / b.peak_power),
+            pct(d.area / b.area),
+            d.simple_decoders,
+            d.complex_decoders,
+            d.has_msrom
+        );
+    }
+    println!("  paper: superset +0.3% power / +0.46% area; microx86-32 -0.66% / -1.12%");
+    println!();
+    let i_base = rtl::ild(&base);
+    let i_sup = rtl::ild(&FeatureSet::superset());
+    println!(
+        "superset ILD: power {}, area {}  (paper: +0.87% / +0.65%)",
+        pct(i_sup.peak_power / i_base.peak_power),
+        pct(i_sup.area / i_base.area)
+    );
+    for (name, a, p) in i_sup.breakdown.iter().take(3) {
+        println!("  {name}: area {a:.0} units, power {p:.2} units");
+    }
+    println!();
+    let (p, a) = rtl::single_uop_engine_savings();
+    println!(
+        "excluding 1:n instructions saves {:.1}% peak power, {:.1}% area of the decode engine (paper: 9.8% / 15.1%)",
+        p * 100.0,
+        a * 100.0
+    );
+}

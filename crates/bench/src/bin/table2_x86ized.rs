@@ -1,0 +1,16 @@
+//! Table II: x86-ized versions of Thumb, Alpha, and x86-64.
+
+use cisa_isa::VendorIsa;
+
+fn main() {
+    println!("Table II: x86-ized versions of vendor ISAs");
+    for v in VendorIsa::ALL {
+        let m = v.model();
+        println!();
+        println!("vendor {v} -> composite {}", v.x86ized());
+        println!("  register depth {}  width {}-bit  fp: {}  code size x{:.2}",
+            m.depth.count(), m.width.bits(), if m.has_fp { "yes" } else { "no" }, m.code_size_factor);
+        println!("  x86-ized exclusive features: {:?}", v.x86ized_exclusive_traits());
+        println!("  unreplicated vendor traits:  {:?}", v.unreplicated_traits());
+    }
+}

@@ -1,0 +1,26 @@
+//! Table IV: composite-ISA multicore compositions optimized for
+//! multiprogrammed EDP under each peak-power budget.
+
+use cisa_bench::{Harness, POWER_BUDGETS};
+use cisa_explore::multicore::Objective;
+use cisa_explore::{search_system, SystemKind};
+
+fn main() {
+    let h = Harness::load();
+    let eval = h.evaluator();
+    let cfg = h.search_config();
+    println!("Table IV: composite-ISA compositions (multiprogrammed efficiency objective)");
+    for (name, budget) in POWER_BUDGETS {
+        println!("\nPeak Power Budget: {name}");
+        match search_system(&eval, SystemKind::CompositeFull, Objective::Edp, budget, &cfg) {
+            Some(r) => {
+                for (i, c) in r.cores.iter().enumerate() {
+                    let (area, power) = eval.budget(c);
+                    println!("  core {i}: {:<55} {power:>5.1} W {area:>5.1} mm2", c.describe(&h.space));
+                }
+                println!("  EDP gain over reference chip: {:.2}x", r.score);
+            }
+            None => println!("  infeasible"),
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! # cisa-bench: the experiment harness
+//!
+//! One binary per table and figure of the paper's evaluation section
+//! (see DESIGN.md's experiment index), all sharing a cached
+//! (phase x design-point) performance table so the expensive probing
+//! pass runs once.
+//!
+//! Run any experiment with `cargo run --release -p cisa-bench --bin
+//! <experiment>`; the first run builds `results/perf_table.bin`.
+
+use std::path::PathBuf;
+
+use cisa_explore::multicore::{Budget, Evaluator, SearchConfig};
+use cisa_explore::{DesignSpace, PerfTable};
+
+/// Where cached sweep results and experiment outputs live.
+pub fn results_dir() -> PathBuf {
+    let mut p = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    // crates/bench -> workspace root
+    p.pop();
+    p.pop();
+    p.join("results")
+}
+
+/// The experiment harness: design space + cached performance table.
+pub struct Harness {
+    /// The 26 x 180 design space.
+    pub space: DesignSpace,
+    /// The evaluated table over all 49 phases.
+    pub table: PerfTable,
+}
+
+impl Harness {
+    /// Loads the cached table or builds it (minutes on first run).
+    pub fn load() -> Self {
+        let space = DesignSpace::new();
+        let path = results_dir().join("perf_table.bin");
+        let started = std::time::Instant::now();
+        let existed = path.exists();
+        let table = PerfTable::load_or_build(&space, &path);
+        if !existed {
+            eprintln!(
+                "[harness] built perf table ({} phases x {} designs) in {:.1}s -> {}",
+                table.n_phases,
+                space.len(),
+                started.elapsed().as_secs_f64(),
+                path.display()
+            );
+        }
+        Harness { space, table }
+    }
+
+    /// An evaluator over the full workload-mix set.
+    pub fn evaluator(&self) -> Evaluator<'_> {
+        Evaluator::new(&self.space, &self.table, 24)
+    }
+
+    /// The standard search configuration used by every experiment.
+    pub fn search_config(&self) -> SearchConfig {
+        SearchConfig {
+            restarts: 2,
+            max_passes: 12,
+            pool_cap: 120,
+            identical: false,
+        }
+    }
+}
+
+/// The paper's peak-power budget axis (Figures 5-6), in watts.
+pub const POWER_BUDGETS: [(&str, Budget); 4] = [
+    ("20W", Budget::PeakPower(20.0)),
+    ("40W", Budget::PeakPower(40.0)),
+    ("60W", Budget::PeakPower(60.0)),
+    ("Unlimited", Budget::Unlimited),
+];
+
+/// The paper's area budget axis (Figures 5-6, 8), in mm^2.
+pub const AREA_BUDGETS: [(&str, Budget); 4] = [
+    ("48mm2", Budget::Area(48.0)),
+    ("64mm2", Budget::Area(64.0)),
+    ("80mm2", Budget::Area(80.0)),
+    ("Unlimited", Budget::Unlimited),
+];
+
+/// The single-thread peak-power axis (Figure 7): one core on at a time.
+pub const SINGLE_THREAD_POWER_BUDGETS: [(&str, Budget); 4] = [
+    ("5W", Budget::PeakPower(5.0)),
+    ("10W", Budget::PeakPower(10.0)),
+    ("15W", Budget::PeakPower(15.0)),
+    ("Unlimited", Budget::Unlimited),
+];
+
+/// Prints a markdown-ish table row.
+pub fn row(cells: &[String]) -> String {
+    cells.join(" | ")
+}
+
+/// Formats a ratio as a percentage delta.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", (x - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_workspace_relative() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+    }
+
+    #[test]
+    fn budget_axes_match_paper() {
+        assert_eq!(POWER_BUDGETS.len(), 4);
+        assert_eq!(AREA_BUDGETS.len(), 4);
+        assert!(matches!(SINGLE_THREAD_POWER_BUDGETS[0].1, Budget::PeakPower(p) if p == 5.0));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(1.176), "+17.6%");
+        assert_eq!(pct(0.9), "-10.0%");
+    }
+}

@@ -1,0 +1,28 @@
+//! # cisa-explore: the design-space exploration engine
+//!
+//! Reproduces the paper's search: 26 feature sets x 180
+//! microarchitectures = 4,680 single-core design points, evaluated over
+//! 49 benchmark phases, then searched for optimal 4-core multicores
+//! under peak-power and area budgets with four objectives
+//! (multiprogrammed throughput, multiprogrammed EDP, single-thread
+//! performance, single-thread EDP), for five system organizations
+//! (homogeneous, single-ISA heterogeneous, x86-ized fixed sets, vendor
+//! heterogeneous-ISA, fully composite).
+
+pub mod interval;
+pub mod multicore;
+pub mod profile;
+pub mod space;
+pub mod systems;
+pub mod table;
+
+pub use interval::{evaluate, PhasePerf};
+pub use multicore::{
+    reference_design, search, Budget, CoreChoice, Evaluator, Objective, SearchConfig, SearchResult,
+};
+pub use profile::{probe, PhaseProfile, PROBE_UOPS};
+pub use space::{all_microarchs, DesignId, DesignSpace, MicroArch};
+pub use systems::{
+    candidates, constrained_candidates, search_system, sensitivity_constraints, SystemKind,
+};
+pub use table::{vendor_adjust, PerfTable};

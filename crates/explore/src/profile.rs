@@ -1,0 +1,343 @@
+//! Per-(phase, feature-set) workload probing.
+//!
+//! The full sweep is 49 phases x 4,680 design points = 229,320
+//! evaluations — the paper burned 49,733 XSEDE core-hours on it. On one
+//! laptop core we use the two-fidelity scheme documented in DESIGN.md:
+//! for every (phase, feature set) pair a **probe** runs the real
+//! machinery once — compile, expand a trace, measure branch
+//! mispredictability under all three predictors, measure cache miss
+//! rates under all four L1/L2 geometries, measure micro-op cache and
+//! store-forwarding behaviour, and run the cycle simulator on two
+//! reference cores to calibrate the phase's dataflow parallelism — and
+//! the interval model in [`crate::interval`] extrapolates across the
+//! 180 microarchitectures from those measurements.
+
+use cisa_compiler::{compile, CompileOptions, CompiledCode};
+use cisa_decode::{DecodeFrontend, DecoderConfig, MacroRecord};
+use cisa_isa::uop::MicroOpKind;
+use cisa_isa::FeatureSet;
+use cisa_sim::{simulate, Cache, CoreConfig, ExecSemantics, PredictorKind, WindowConfig};
+use cisa_workloads::{generate, DynUop, PhaseSpec, TraceGenerator, TraceParams};
+
+/// Trace length used by probes (micro-ops).
+pub const PROBE_UOPS: usize = 48_000;
+
+/// Microarchitecture-independent characteristics of one (phase, feature
+/// set) pair, plus the two calibration fits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseProfile {
+    /// Dynamic micro-ops per unit of phase work.
+    pub uops_per_unit: f64,
+    /// Macro-ops per micro-op (1.0 for microx86).
+    pub macro_per_uop: f64,
+    /// Mean encoded macro-op length (bytes).
+    pub avg_macro_len: f64,
+    /// Static code footprint (bytes).
+    pub code_bytes: f64,
+    /// Micro-op mix fractions (sum to ~1).
+    pub mix: [f64; 8],
+    /// Mispredictions per micro-op, per predictor (L, G, T order).
+    pub mispredict_per_uop: [f64; 3],
+    /// L1D misses per micro-op by L1 size index (32KB, 64KB).
+    pub l1d_miss_per_uop: [f64; 2],
+    /// L2 misses per micro-op by [L1 idx][L2 idx (1MB, 2MB)].
+    pub l2_miss_per_uop: [[f64; 2]; 2],
+    /// L1I misses per micro-op by L1 size index.
+    pub l1i_miss_per_uop: [f64; 2],
+    /// Micro-op cache hit rate (macro-op granularity).
+    pub uopc_hit_rate: f64,
+    /// Store-forwarded loads per micro-op.
+    pub fwd_per_uop: f64,
+    /// Fitted dataflow parallelism at the reference window.
+    pub ilp: f64,
+    /// Fitted memory-level-parallelism overlap coefficient.
+    pub mem_overlap: f64,
+    /// Fitted in-order stall exposure scale.
+    pub io_stall_scale: f64,
+    /// Measured cycles-per-uop on the reference OoO core (validation).
+    pub ref_ooo_cpu: f64,
+    /// Measured cycles-per-uop on the large-window reference OoO core.
+    pub ref_ooo_large_cpu: f64,
+    /// Measured cycles-per-uop on the reference in-order core.
+    pub ref_io_cpu: f64,
+}
+
+/// Index of a micro-op class in [`PhaseProfile::mix`].
+pub fn mix_idx(kind: MicroOpKind) -> usize {
+    match kind {
+        MicroOpKind::Load => 0,
+        MicroOpKind::Store => 1,
+        MicroOpKind::IntAlu | MicroOpKind::Nop => 2,
+        MicroOpKind::IntMul => 3,
+        MicroOpKind::FpAlu | MicroOpKind::FpMul => 4,
+        MicroOpKind::VecAlu => 5,
+        MicroOpKind::Branch => 6,
+        MicroOpKind::Jump => 7,
+    }
+}
+
+/// Index of a predictor in [`PhaseProfile::mispredict_per_uop`].
+pub fn pred_idx(kind: PredictorKind) -> usize {
+    match kind {
+        PredictorKind::TwoLevelLocal => 0,
+        PredictorKind::Gshare => 1,
+        PredictorKind::Tournament => 2,
+    }
+}
+
+/// The reference out-of-order core used for calibration.
+pub fn reference_ooo(fs: FeatureSet) -> CoreConfig {
+    CoreConfig {
+        fs,
+        sem: ExecSemantics::OutOfOrder,
+        width: 2,
+        predictor: PredictorKind::Tournament,
+        int_alu: 3,
+        fp_alu: 1,
+        lsq: 16,
+        l1_kb: 32,
+        l2_kb: 1024,
+        window: WindowConfig::small(),
+    }
+}
+
+/// The large-window reference out-of-order core used for calibration.
+pub fn reference_ooo_large(fs: FeatureSet) -> CoreConfig {
+    CoreConfig {
+        window: WindowConfig::large(),
+        ..reference_ooo(fs)
+    }
+}
+
+/// The reference in-order core used for calibration.
+pub fn reference_io(fs: FeatureSet) -> CoreConfig {
+    CoreConfig {
+        fs,
+        sem: ExecSemantics::InOrder,
+        width: 2,
+        predictor: PredictorKind::Tournament,
+        int_alu: 3,
+        fp_alu: 1,
+        lsq: 16,
+        l1_kb: 32,
+        l2_kb: 1024,
+        window: WindowConfig::in_order(),
+    }
+}
+
+/// # Example
+///
+/// ```
+/// use cisa_explore::probe;
+/// use cisa_isa::FeatureSet;
+/// use cisa_workloads::all_phases;
+///
+/// let profile = probe(&all_phases()[0], FeatureSet::x86_64());
+/// assert!(profile.uops_per_unit > 0.0);
+/// assert!(profile.uopc_hit_rate <= 1.0);
+/// ```
+/// Probes one (phase, feature set) pair.
+pub fn probe(spec: &PhaseSpec, fs: FeatureSet) -> PhaseProfile {
+    let code = compile(&generate(spec), &fs, &CompileOptions::default())
+        .expect("generated phases always compile");
+    probe_compiled(spec, &code)
+}
+
+/// Probe from already-compiled code (used when the caller also needs
+/// the code).
+pub fn probe_compiled(spec: &PhaseSpec, code: &CompiledCode) -> PhaseProfile {
+    let fs = code.fs;
+    let params = TraceParams {
+        max_uops: PROBE_UOPS,
+        seed: 0xBEEF,
+    };
+    let trace: Vec<DynUop> = TraceGenerator::new(code, spec, params).collect();
+    let n = trace.len().max(1) as f64;
+
+    // Micro-op mix.
+    let mut mix = [0.0f64; 8];
+    for u in &trace {
+        mix[mix_idx(u.kind)] += 1.0;
+    }
+    for m in &mut mix {
+        *m /= n;
+    }
+
+    // Branch predictability under all three predictors.
+    let mut mispredict_per_uop = [0.0f64; 3];
+    for kind in PredictorKind::ALL {
+        let mut p = kind.build();
+        let mut misses = 0u64;
+        for u in trace.iter().filter(|u| u.kind == MicroOpKind::Branch) {
+            if p.predict(u.pc) != u.taken {
+                misses += 1;
+            }
+            p.update(u.pc, u.taken);
+        }
+        mispredict_per_uop[pred_idx(kind)] = misses as f64 / n;
+    }
+
+    // Data-cache behaviour under the four geometries.
+    let mut l1d_miss_per_uop = [0.0f64; 2];
+    let mut l2_miss_per_uop = [[0.0f64; 2]; 2];
+    for (i, l1_kb) in [32u64, 64].iter().enumerate() {
+        let mut l1 = Cache::new(l1_kb * 1024, 4);
+        let mut l2a = Cache::new(1024 * 1024, 4);
+        let mut l2b = Cache::new(2048 * 1024, 8);
+        for u in trace.iter().filter(|u| u.kind.is_mem()) {
+            if !l1.access(u.mem_addr) {
+                if !l2a.access(u.mem_addr) {
+                    l2_miss_per_uop[i][0] += 1.0;
+                }
+                if !l2b.access(u.mem_addr) {
+                    l2_miss_per_uop[i][1] += 1.0;
+                }
+            }
+        }
+        l1d_miss_per_uop[i] = l1.misses as f64 / n;
+        l2_miss_per_uop[i][0] /= n;
+        l2_miss_per_uop[i][1] /= n;
+    }
+
+    // Instruction-side behaviour: micro-op cache + L1I per size.
+    let mut fe = DecodeFrontend::new(DecoderConfig::for_complexity(fs.complexity()));
+    let mut l1i = [Cache::new(32 * 1024, 4), Cache::new(64 * 1024, 4)];
+    let mut macros = 0u64;
+    for u in trace.iter().filter(|u| u.first) {
+        macros += 1;
+        let rec = MacroRecord {
+            pc: u.pc,
+            len: u.len,
+            uops: u.macro_uops,
+            fusible_cmp: false,
+            is_branch: u.kind == MicroOpKind::Branch,
+        };
+        let (src, _) = fe.supply(&rec);
+        if src != cisa_decode::SupplySource::UopCache {
+            for c in &mut l1i {
+                c.access(u.pc);
+            }
+        }
+    }
+    let uopc_hit_rate = fe.stats().uop_cache_hit_rate();
+    let l1i_miss_per_uop = [l1i[0].misses as f64 / n, l1i[1].misses as f64 / n];
+
+    // Store-to-load forwarding frequency (8-byte granularity, recent
+    // window).
+    let mut last_store: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut fwd = 0u64;
+    for (i, u) in trace.iter().enumerate() {
+        match u.kind {
+            MicroOpKind::Store => {
+                last_store.insert(u.mem_addr & !7, i);
+            }
+            MicroOpKind::Load => {
+                if let Some(&j) = last_store.get(&(u.mem_addr & !7)) {
+                    if i - j < 64 {
+                        fwd += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Reference cycle simulations for calibration.
+    let ooo_res = simulate(&reference_ooo(fs), TraceGenerator::new(code, spec, params));
+    let ooo_large_res = simulate(&reference_ooo_large(fs), TraceGenerator::new(code, spec, params));
+    let io_res = simulate(&reference_io(fs), TraceGenerator::new(code, spec, params));
+    let ref_ooo_cpu = ooo_res.cycles as f64 / n;
+    let ref_ooo_large_cpu = ooo_large_res.cycles as f64 / n;
+    let ref_io_cpu = io_res.cycles as f64 / n;
+
+    let mut profile = PhaseProfile {
+        uops_per_unit: code.stats.total_uops(),
+        macro_per_uop: macros as f64 / n,
+        avg_macro_len: code.stats.avg_inst_bytes,
+        code_bytes: code.stats.code_bytes as f64,
+        mix,
+        mispredict_per_uop,
+        l1d_miss_per_uop,
+        l2_miss_per_uop,
+        l1i_miss_per_uop,
+        uopc_hit_rate,
+        fwd_per_uop: fwd as f64 / n,
+        ilp: 2.0,            // fitted below
+        mem_overlap: 1.0,    // fitted below
+        io_stall_scale: 1.0, // fitted below
+        ref_ooo_cpu,
+        ref_ooo_large_cpu,
+        ref_io_cpu,
+    };
+    crate::interval::fit(&mut profile);
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cisa_workloads::all_phases;
+
+    fn spec(bench: &str) -> PhaseSpec {
+        all_phases().into_iter().find(|p| p.benchmark == bench).unwrap()
+    }
+
+    #[test]
+    fn probe_measures_sane_rates() {
+        let p = probe(&spec("bzip2"), FeatureSet::x86_64());
+        let mix_sum: f64 = p.mix.iter().sum();
+        assert!((mix_sum - 1.0).abs() < 1e-9);
+        assert!(p.uops_per_unit > 0.0);
+        assert!(p.ref_ooo_cpu > 0.3 && p.ref_ooo_cpu < 40.0, "cpu {}", p.ref_ooo_cpu);
+        assert!(p.ref_io_cpu >= p.ref_ooo_cpu * 0.9, "in-order can't be much faster");
+        assert!((0.0..=1.0).contains(&p.uopc_hit_rate));
+    }
+
+    #[test]
+    fn bigger_caches_never_miss_more() {
+        for bench in ["mcf", "bzip2", "lbm"] {
+            let p = probe(&spec(bench), FeatureSet::x86_64());
+            assert!(p.l1d_miss_per_uop[1] <= p.l1d_miss_per_uop[0] + 1e-9);
+            for i in 0..2 {
+                assert!(p.l2_miss_per_uop[i][1] <= p.l2_miss_per_uop[i][0] + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn irregular_branches_mispredict_more_than_regular() {
+        let sjeng = probe(&spec("sjeng"), FeatureSet::x86_64());
+        let lbm = probe(&spec("lbm"), FeatureSet::x86_64());
+        for k in 0..3 {
+            assert!(
+                sjeng.mispredict_per_uop[k] > lbm.mispredict_per_uop[k],
+                "predictor {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_predication_reduces_branch_mix() {
+        let s = spec("sjeng");
+        let partial = probe(&s, "x86-16D-64W".parse().unwrap());
+        let full = probe(&s, "x86-16D-64W-P".parse().unwrap());
+        assert!(
+            full.mix[6] < partial.mix[6],
+            "branch fraction {} vs {}",
+            full.mix[6],
+            partial.mix[6]
+        );
+    }
+
+    #[test]
+    fn mcf_misses_everywhere() {
+        let p = probe(&spec("mcf"), FeatureSet::x86_64());
+        assert!(p.l2_miss_per_uop[0][0] > 0.001, "mcf must reach memory");
+    }
+
+    #[test]
+    fn probes_are_deterministic() {
+        let s = spec("milc");
+        assert_eq!(probe(&s, FeatureSet::x86_64()), probe(&s, FeatureSet::x86_64()));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests on the interval model: predicted time must be
+//! monotone in every resource the microarchitecture grows.
+
+use cisa_explore::profile::probe;
+use cisa_explore::space::{all_microarchs, MicroArch};
+use cisa_explore::{evaluate, PhaseProfile};
+use cisa_isa::FeatureSet;
+use cisa_sim::{ExecSemantics, PredictorKind, WindowConfig};
+use cisa_workloads::all_phases;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn profiles() -> &'static Vec<(String, FeatureSet, PhaseProfile)> {
+    static CELL: OnceLock<Vec<(String, FeatureSet, PhaseProfile)>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let fs_list = [
+            FeatureSet::x86_64(),
+            FeatureSet::minimal(),
+            FeatureSet::superset(),
+        ];
+        all_phases()
+            .into_iter()
+            .filter(|p| p.index == 0)
+            .take(4)
+            .flat_map(|spec| {
+                fs_list
+                    .iter()
+                    .map(|fs| (spec.name(), *fs, probe(&spec, *fs)))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    })
+}
+
+fn base_ua() -> MicroArch {
+    all_microarchs()
+        .into_iter()
+        .find(|u| {
+            u.sem == ExecSemantics::OutOfOrder
+                && u.width == 2
+                && u.int_alu == 3
+                && u.fp_alu == 1
+                && u.l1_kb == 32
+                && u.l2_kb == 1024
+                && u.window.rob == 64
+                && u.predictor == PredictorKind::Tournament
+        })
+        .expect("reference microarch exists")
+}
+
+fn time(p: &PhaseProfile, fs: FeatureSet, ua: &MicroArch) -> f64 {
+    evaluate(p, ua, &ua.with_fs(fs)).cycles_per_unit
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Growing any single resource never slows the prediction (small
+    /// numerical slack allowed for the fitted overlap interpolation).
+    #[test]
+    fn resources_are_monotone(idx in 0usize..12) {
+        let (name, fs, prof) = &profiles()[idx];
+        let ua = base_ua();
+        let t0 = time(prof, *fs, &ua);
+
+        let bigger_l1 = MicroArch { l1_kb: 64, ..ua };
+        prop_assert!(time(prof, *fs, &bigger_l1) <= t0 * 1.001, "{name}: L1");
+
+        let bigger_l2 = MicroArch { l2_kb: 2048, ..ua };
+        prop_assert!(time(prof, *fs, &bigger_l2) <= t0 * 1.001, "{name}: L2");
+
+        let more_fp = MicroArch { fp_alu: 2, ..ua };
+        prop_assert!(time(prof, *fs, &more_fp) <= t0 * 1.001, "{name}: FP units");
+
+        let wider = MicroArch { width: 4, int_alu: 6, fp_alu: 2, lsq: 32, ..ua };
+        prop_assert!(time(prof, *fs, &wider) <= t0 * 1.02, "{name}: width bundle");
+
+        let big_window = MicroArch { window: WindowConfig::large(), ..ua };
+        prop_assert!(time(prof, *fs, &big_window) <= t0 * 1.02, "{name}: window");
+    }
+
+    /// Out-of-order never loses to in-order at the same shape.
+    #[test]
+    fn ooo_dominates_inorder(idx in 0usize..12) {
+        let (name, fs, prof) = &profiles()[idx];
+        let ooo = base_ua();
+        let io = MicroArch { sem: ExecSemantics::InOrder, window: WindowConfig::in_order(), ..ooo };
+        prop_assert!(
+            time(prof, *fs, &ooo) <= time(prof, *fs, &io) * 1.001,
+            "{name}: OoO must not lose to in-order"
+        );
+    }
+
+    /// Energy per unit of work is finite and positive everywhere.
+    #[test]
+    fn energy_is_well_formed(idx in 0usize..12, ua_idx in 0usize..180) {
+        let (_, fs, prof) = &profiles()[idx];
+        let ua = all_microarchs()[ua_idx];
+        let perf = evaluate(prof, &ua, &ua.with_fs(*fs));
+        prop_assert!(perf.energy_per_unit.is_finite() && perf.energy_per_unit > 0.0);
+        prop_assert!(perf.cycles_per_unit.is_finite() && perf.cycles_per_unit > 0.0);
+    }
+}

@@ -1,0 +1,337 @@
+//! Disassembler for superset-ISA machine code.
+//!
+//! Where [`encoding::InstLengthDecoder`](crate::encoding::InstLengthDecoder)
+//! only computes lengths (the hardware ILD's job), the disassembler
+//! recovers the full structural form: opcode group, prefixes (REX,
+//! REXBC, predicate), ModRM register fields, addressing mode,
+//! displacement and immediate widths. Useful for debugging compiled
+//! code and property-tested to invert the encoder.
+
+use std::fmt;
+
+use crate::encoding::{DecodeError, PREDICATE_MARKER, REXBC_MARKER};
+use crate::inst::{AddressingMode, MacroOpcode};
+
+/// A disassembled instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disassembled {
+    /// Opcode group.
+    pub opcode: MacroOpcode,
+    /// Total length in bytes.
+    pub len: u8,
+    /// REX prefix present.
+    pub has_rex: bool,
+    /// REX.W (64-bit operand) set.
+    pub rex_w: bool,
+    /// REXBC prefix present (registers 16..64 addressable).
+    pub has_rexbc: bool,
+    /// Predicate register, if the predicate prefix is present.
+    pub predicate: Option<(u8, bool)>,
+    /// ModRM `reg` field (extended with REX.R / REXBC bits when present).
+    pub reg: Option<u8>,
+    /// ModRM `rm` field or memory base (extended likewise).
+    pub rm: Option<u8>,
+    /// Addressing mode, if the instruction has a memory operand.
+    pub mode: Option<AddressingMode>,
+    /// Displacement width in bytes.
+    pub disp_bytes: u8,
+    /// Immediate width in bytes.
+    pub imm_bytes: u8,
+}
+
+impl fmt::Display for Disassembled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some((p, neg)) = self.predicate {
+            write!(f, "({}r{p}) ", if neg { "!" } else { "" })?;
+        }
+        write!(f, "{:?}", self.opcode)?;
+        if let Some(r) = self.reg {
+            write!(f, " r{r}")?;
+        }
+        match (self.mode, self.rm) {
+            (Some(m), Some(rm)) => write!(f, ", [r{rm} {m:?} disp{}]", self.disp_bytes)?,
+            (None, Some(rm)) => write!(f, ", r{rm}")?,
+            _ => {}
+        }
+        if self.imm_bytes > 0 {
+            write!(f, ", imm{}", self.imm_bytes)?;
+        }
+        Ok(())
+    }
+}
+
+/// Maps opcode bytes back to their [`MacroOpcode`] group and whether a
+/// ModRM byte follows / an immediate of which width.
+fn opcode_of(first: u8, second: Option<u8>) -> Option<(MacroOpcode, bool, u8)> {
+    Some(match (first, second) {
+        (0x89, _) => (MacroOpcode::Mov, true, 0),
+        (0xB0, _) => (MacroOpcode::Mov, false, 1),
+        (0xB8, _) => (MacroOpcode::Mov, false, 4),
+        (0xC6, _) => (MacroOpcode::Mov, true, 1),
+        (0xC7, _) => (MacroOpcode::Mov, true, 4),
+        (0x01, _) => (MacroOpcode::IntAlu, true, 0),
+        (0x83, _) => (MacroOpcode::IntAlu, true, 1),
+        (0x81, _) => (MacroOpcode::IntAlu, true, 4),
+        (0x0F, Some(0xAF)) => (MacroOpcode::IntMul, true, 0),
+        (0x8D, _) => (MacroOpcode::Lea, true, 0),
+        (0x8B, _) => (MacroOpcode::Load, true, 0),
+        (0x88, _) => (MacroOpcode::Store, true, 0),
+        (0x0F, Some(0x58)) => (MacroOpcode::FpAlu, true, 0),
+        (0x0F, Some(0x59)) => (MacroOpcode::FpMul, true, 0),
+        (0x0F, Some(0xFE)) => (MacroOpcode::VecAlu, true, 0),
+        (0x0F, Some(0x84)) => (MacroOpcode::Branch, false, 4),
+        (0x0F, Some(0x44)) => (MacroOpcode::Cmov, true, 0),
+        (0xE9, _) => (MacroOpcode::Jump, false, 4),
+        (0xE8, _) => (MacroOpcode::Call, false, 4),
+        (0xC3, _) => (MacroOpcode::Ret, false, 0),
+        (0x90, _) => (MacroOpcode::Nop, false, 0),
+        _ => return None,
+    })
+}
+
+/// Disassembles the instruction at the start of `bytes`.
+///
+/// # Errors
+///
+/// Returns the same [`DecodeError`]s as the length decoder: truncated
+/// streams and unknown opcodes.
+pub fn disassemble(bytes: &[u8]) -> Result<Disassembled, DecodeError> {
+    let mut pos = 0usize;
+    let next = |pos: &mut usize| -> Result<u8, DecodeError> {
+        let b = *bytes.get(*pos).ok_or(DecodeError::Truncated)?;
+        *pos += 1;
+        Ok(b)
+    };
+
+    let mut b = next(&mut pos)?;
+    while matches!(b, 0x66 | 0x67 | 0xF2 | 0xF3 | 0x2E | 0x3E) {
+        b = next(&mut pos)?;
+    }
+    let mut has_rexbc = false;
+    let mut rexbc_payload = 0u8;
+    if b == REXBC_MARKER {
+        has_rexbc = true;
+        rexbc_payload = next(&mut pos)?;
+        b = next(&mut pos)?;
+    }
+    let mut predicate = None;
+    if b == PREDICATE_MARKER {
+        let payload = next(&mut pos)?;
+        predicate = Some((payload & 0x7F, payload & 0x80 != 0));
+        b = next(&mut pos)?;
+    }
+    let mut has_rex = false;
+    let mut rex = 0u8;
+    if (0x40..=0x4F).contains(&b) {
+        has_rex = true;
+        rex = b & 0x0F;
+        b = next(&mut pos)?;
+    }
+    let (opcode, has_modrm, imm_bytes) = if b == 0x0F {
+        let b2 = next(&mut pos)?;
+        opcode_of(0x0F, Some(b2)).ok_or(DecodeError::UnknownOpcode(b2))?
+    } else {
+        opcode_of(b, None).ok_or(DecodeError::UnknownOpcode(b))?
+    };
+
+    let mut reg = None;
+    let mut rm = None;
+    let mut mode = None;
+    let mut disp_bytes = 0u8;
+    if has_modrm {
+        let modrm = next(&mut pos)?;
+        let mod_bits = modrm >> 6;
+        let reg_low = (modrm >> 3) & 0x7;
+        let rm_low = modrm & 0x7;
+        // Reassemble extended register numbers: 3 ModRM bits + 1 REX
+        // bit + 2 REXBC bits.
+        let rex_r = (rex >> 2) & 1;
+        let rex_b = rex & 1;
+        let bc_r = (rexbc_payload >> 6) & 0x3;
+        let bc_b = (rexbc_payload >> 2) & 0x3;
+        reg = Some(reg_low | (rex_r << 3) | (bc_r << 4));
+        let mut base = rm_low | (rex_b << 3) | (bc_b << 4);
+        if mod_bits != 0b11 && rm_low == 0b100 {
+            let sib = next(&mut pos)?;
+            let sib_base = sib & 0x7;
+            base = sib_base | (rex_b << 3) | (bc_b << 4);
+            mode = Some(if (sib >> 3) & 0x7 == 0b100 {
+                AddressingMode::BaseOnly
+            } else {
+                AddressingMode::BaseIndexScaleDisp
+            });
+        }
+        disp_bytes = match (mod_bits, rm_low) {
+            (0b00, 0b101) => {
+                mode = Some(AddressingMode::Absolute);
+                4
+            }
+            (0b01, _) => 1,
+            (0b10, _) => 4,
+            _ => disp_bytes,
+        };
+        if mod_bits != 0b11 && mode.is_none() {
+            mode = Some(if disp_bytes > 0 {
+                AddressingMode::BaseDisp
+            } else {
+                AddressingMode::BaseOnly
+            });
+        }
+        if mod_bits != 0b11 && mode == Some(AddressingMode::BaseOnly) && disp_bytes > 0 {
+            mode = Some(AddressingMode::BaseDisp);
+        }
+        rm = Some(base);
+        for _ in 0..disp_bytes {
+            next(&mut pos)?;
+        }
+    }
+    for _ in 0..imm_bytes {
+        next(&mut pos)?;
+    }
+
+    Ok(Disassembled {
+        opcode,
+        len: pos as u8,
+        has_rex,
+        rex_w: has_rex && (rex & 0x8) != 0,
+        has_rexbc,
+        predicate,
+        reg,
+        rm,
+        mode,
+        disp_bytes,
+        imm_bytes,
+    })
+}
+
+/// Disassembles a whole stream.
+///
+/// # Errors
+///
+/// Fails on the first undecodable instruction.
+pub fn disassemble_stream(mut bytes: &[u8]) -> Result<Vec<Disassembled>, DecodeError> {
+    let mut out = Vec::new();
+    while !bytes.is_empty() {
+        let d = disassemble(bytes)?;
+        bytes = &bytes[d.len as usize..];
+        out.push(d);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Encoder;
+    use crate::inst::{MachineInst, MemLocality, MemOperand, Operand};
+    use crate::{ArchReg, FeatureSet};
+
+    fn roundtrip(inst: &MachineInst) -> Disassembled {
+        let enc = Encoder::new(FeatureSet::superset()).encode(inst).expect("encodes");
+        let d = disassemble(&enc.bytes).expect("disassembles");
+        assert_eq!(d.len as usize, enc.len(), "{inst}");
+        assert_eq!(d.opcode, canonical_group(inst.opcode), "{inst}");
+        assert_eq!(d.has_rexbc, enc.has_rexbc, "{inst}");
+        assert_eq!(d.predicate.is_some(), enc.has_predicate, "{inst}");
+        d
+    }
+
+    /// Mov-with-immediate reuses ALU opcodes in display; canonical group
+    /// for comparison.
+    fn canonical_group(op: MacroOpcode) -> MacroOpcode {
+        op
+    }
+
+    #[test]
+    fn disassembles_plain_alu() {
+        let i = MachineInst::compute(
+            MacroOpcode::IntAlu,
+            ArchReg::gpr(3),
+            Operand::Reg(ArchReg::gpr(5)),
+            Operand::Reg(ArchReg::gpr(6)),
+        );
+        let d = roundtrip(&i);
+        assert_eq!(d.reg, Some(3));
+        assert!(!d.has_rex);
+        assert_eq!(d.mode, None);
+    }
+
+    #[test]
+    fn recovers_extended_registers() {
+        let i = MachineInst::compute(
+            MacroOpcode::IntAlu,
+            ArchReg::gpr(45),
+            Operand::Reg(ArchReg::gpr(2)),
+            Operand::None,
+        );
+        let d = roundtrip(&i);
+        // 45 = 0b101101: low 3 bits 101, REX.R bit 1, REXBC bits 10.
+        assert_eq!(d.reg, Some(45));
+        assert!(d.has_rexbc);
+        assert!(d.has_rex);
+    }
+
+    #[test]
+    fn recovers_predicates() {
+        let i = MachineInst::compute(
+            MacroOpcode::IntAlu,
+            ArchReg::gpr(1),
+            Operand::Reg(ArchReg::gpr(2)),
+            Operand::None,
+        )
+        .predicated_on(ArchReg::gpr(9), true);
+        let d = roundtrip(&i);
+        assert_eq!(d.predicate, Some((9, true)));
+        assert!(d.to_string().starts_with("(!r9)"));
+    }
+
+    #[test]
+    fn recovers_memory_bases() {
+        let i = MachineInst::load(
+            ArchReg::gpr(1),
+            MemOperand::base_disp(ArchReg::gpr(20), 4, MemLocality::Stream),
+        );
+        let d = roundtrip(&i);
+        assert_eq!(d.opcode, MacroOpcode::Load);
+        assert_eq!(d.rm, Some(20));
+        assert_eq!(d.mode, Some(AddressingMode::BaseDisp));
+        assert_eq!(d.disp_bytes, 4);
+    }
+
+    #[test]
+    fn recovers_wide_flag() {
+        let i = MachineInst::compute(
+            MacroOpcode::IntAlu,
+            ArchReg::gpr(1),
+            Operand::Reg(ArchReg::gpr(2)),
+            Operand::None,
+        )
+        .wide();
+        let d = roundtrip(&i);
+        assert!(d.rex_w);
+    }
+
+    #[test]
+    fn stream_disassembly() {
+        let enc = Encoder::new(FeatureSet::superset());
+        let insts = [
+            MachineInst::compute(MacroOpcode::IntAlu, ArchReg::gpr(20), Operand::Reg(ArchReg::gpr(2)), Operand::None),
+            MachineInst::branch(),
+            MachineInst::jump(),
+        ];
+        let mut stream = Vec::new();
+        for i in &insts {
+            stream.extend_from_slice(&enc.encode(i).unwrap().bytes);
+        }
+        let ds = disassemble_stream(&stream).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds[1].opcode, MacroOpcode::Branch);
+        assert_eq!(ds[2].opcode, MacroOpcode::Jump);
+    }
+
+    #[test]
+    fn errors_match_the_ild() {
+        assert_eq!(disassemble(&[]), Err(DecodeError::Truncated));
+        assert_eq!(disassemble(&[0xFF]), Err(DecodeError::UnknownOpcode(0xFF)));
+    }
+}

@@ -1,0 +1,678 @@
+//! The superset ISA's variable-length instruction encoding (Section V-A,
+//! Figure 3) and a byte-accurate instruction-length decoder.
+//!
+//! Layout (in order):
+//!
+//! ```text
+//! [legacy prefixes]* [REXBC: 0xD6 pp]? [predicate: 0xF1 pp]? [REX]?
+//! [opcode (1-2 bytes)] [ModRM]? [SIB]? [disp 0/1/4] [imm 0/1/4]
+//! ```
+//!
+//! - The **REXBC** prefix (marker byte `0xD6`, an unused x86 opcode, plus
+//!   one payload byte) carries 2 extra bits per register operand,
+//!   extending addressable register depth to 64 and lifting x86's
+//!   sub-register pairing restrictions.
+//! - The **predicate** prefix (marker `0xF1` plus one payload byte)
+//!   encodes the predicate register (bits 0-6) and the true/not-true
+//!   sense (bit 7).
+//!
+//! [`Encoder`] turns a [`MachineInst`] into bytes for a given
+//! [`FeatureSet`]; [`InstLengthDecoder`] parses raw bytes back into
+//! lengths and prefix flags the way the hardware ILD does. The two are
+//! inverse by construction and property-tested to stay that way.
+
+use std::fmt;
+
+use crate::feature_set::{FeatureSet, RegisterWidth};
+use crate::inst::{AddressingMode, MachineInst, MacroOpcode};
+use crate::regs::{ArchReg, EncodingTier};
+
+/// Marker byte of the REXBC prefix (recycled unused opcode `0xd6`).
+pub const REXBC_MARKER: u8 = 0xD6;
+/// Marker byte of the predicate prefix (recycled unused opcode `0xf1`).
+pub const PREDICATE_MARKER: u8 = 0xF1;
+/// Architectural maximum instruction length: x86's 15 bytes plus the 2
+/// bytes by which the paper widens the macro-op queue to accommodate the
+/// REXBC and predicate prefixes (Section V-B).
+pub const MAX_INST_LEN: usize = 17;
+
+/// An encoded instruction: raw bytes plus a structural breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedInst {
+    /// The raw instruction bytes.
+    pub bytes: Vec<u8>,
+    /// Number of legacy prefix bytes.
+    pub legacy_prefixes: u8,
+    /// Whether a REXBC prefix (2 bytes) is present.
+    pub has_rexbc: bool,
+    /// Whether a predicate prefix (2 bytes) is present.
+    pub has_predicate: bool,
+    /// Whether a REX prefix is present.
+    pub has_rex: bool,
+    /// Opcode length in bytes (1 or 2).
+    pub opcode_len: u8,
+    /// Whether a ModRM byte is present.
+    pub has_modrm: bool,
+    /// Whether a SIB byte is present.
+    pub has_sib: bool,
+    /// Displacement bytes (0, 1 or 4).
+    pub disp_bytes: u8,
+    /// Immediate bytes (0, 1 or 4).
+    pub imm_bytes: u8,
+}
+
+impl EncodedInst {
+    /// Total encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the encoding is empty (never true for a valid encoding).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// Errors the encoder can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The instruction is not legal under the target feature set.
+    IllegalUnderFeatureSet {
+        /// Rendered instruction.
+        inst: String,
+        /// Rendered feature set.
+        feature_set: String,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::IllegalUnderFeatureSet { inst, feature_set } => {
+                write!(f, "instruction {inst:?} is not legal under feature set {feature_set}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Opcode table entry: how the ILD decodes lengths after the opcode.
+#[derive(Debug, Clone, Copy)]
+struct OpcodeInfo {
+    has_modrm: bool,
+    imm_bytes: u8,
+}
+
+/// Maps a [`MacroOpcode`] (+ immediate width) to its opcode bytes.
+///
+/// The byte values follow real x86 where a natural analogue exists
+/// (e.g. `0x0F 0xAF` imul, `0xE9` jmp rel32, `0x0F 0x44` cmov).
+fn opcode_bytes(opcode: MacroOpcode, imm: u8) -> (&'static [u8], OpcodeInfo) {
+    match (opcode, imm) {
+        (MacroOpcode::Mov, 0) => (&[0x89], OpcodeInfo { has_modrm: true, imm_bytes: 0 }),
+        (MacroOpcode::Mov, 1) => (&[0xB0], OpcodeInfo { has_modrm: false, imm_bytes: 1 }),
+        (MacroOpcode::Mov, 2) => (&[0xC6], OpcodeInfo { has_modrm: true, imm_bytes: 1 }),
+        (MacroOpcode::Mov, 3) => (&[0xC7], OpcodeInfo { has_modrm: true, imm_bytes: 4 }),
+        (MacroOpcode::Mov, _) => (&[0xB8], OpcodeInfo { has_modrm: false, imm_bytes: 4 }),
+        (MacroOpcode::IntAlu, 0) => (&[0x01], OpcodeInfo { has_modrm: true, imm_bytes: 0 }),
+        (MacroOpcode::IntAlu, 1) => (&[0x83], OpcodeInfo { has_modrm: true, imm_bytes: 1 }),
+        (MacroOpcode::IntAlu, _) => (&[0x81], OpcodeInfo { has_modrm: true, imm_bytes: 4 }),
+        (MacroOpcode::IntMul, _) => (&[0x0F, 0xAF], OpcodeInfo { has_modrm: true, imm_bytes: 0 }),
+        (MacroOpcode::Lea, _) => (&[0x8D], OpcodeInfo { has_modrm: true, imm_bytes: 0 }),
+        (MacroOpcode::Load, _) => (&[0x8B], OpcodeInfo { has_modrm: true, imm_bytes: 0 }),
+        (MacroOpcode::Store, _) => (&[0x88], OpcodeInfo { has_modrm: true, imm_bytes: 0 }),
+        (MacroOpcode::FpAlu, _) => (&[0x0F, 0x58], OpcodeInfo { has_modrm: true, imm_bytes: 0 }),
+        (MacroOpcode::FpMul, _) => (&[0x0F, 0x59], OpcodeInfo { has_modrm: true, imm_bytes: 0 }),
+        (MacroOpcode::VecAlu, _) => (&[0x0F, 0xFE], OpcodeInfo { has_modrm: true, imm_bytes: 0 }),
+        (MacroOpcode::Branch, _) => (&[0x0F, 0x84], OpcodeInfo { has_modrm: false, imm_bytes: 4 }),
+        (MacroOpcode::Jump, _) => (&[0xE9], OpcodeInfo { has_modrm: false, imm_bytes: 4 }),
+        (MacroOpcode::Call, _) => (&[0xE8], OpcodeInfo { has_modrm: false, imm_bytes: 4 }),
+        (MacroOpcode::Ret, _) => (&[0xC3], OpcodeInfo { has_modrm: false, imm_bytes: 0 }),
+        (MacroOpcode::Cmov, _) => (&[0x0F, 0x44], OpcodeInfo { has_modrm: true, imm_bytes: 0 }),
+        (MacroOpcode::Nop, _) => (&[0x90], OpcodeInfo { has_modrm: false, imm_bytes: 0 }),
+    }
+}
+
+/// Length-decode info keyed by opcode bytes, used by the ILD. Mirrors
+/// [`opcode_bytes`] exactly.
+fn opcode_info_for(first: u8, second: Option<u8>) -> Option<OpcodeInfo> {
+    Some(match (first, second) {
+        (0x0F, Some(0xAF | 0x58 | 0x59 | 0xFE | 0x44)) => OpcodeInfo { has_modrm: true, imm_bytes: 0 },
+        (0x0F, Some(0x84)) => OpcodeInfo { has_modrm: false, imm_bytes: 4 },
+        (0x0F, _) => return None,
+        (0x89 | 0x01 | 0x8D | 0x8B | 0x88, _) => OpcodeInfo { has_modrm: true, imm_bytes: 0 },
+        (0x83, _) => OpcodeInfo { has_modrm: true, imm_bytes: 1 },
+        (0x81, _) => OpcodeInfo { has_modrm: true, imm_bytes: 4 },
+        (0xB0, _) => OpcodeInfo { has_modrm: false, imm_bytes: 1 },
+        (0xB8, _) => OpcodeInfo { has_modrm: false, imm_bytes: 4 },
+        (0xC6, _) => OpcodeInfo { has_modrm: true, imm_bytes: 1 },
+        (0xC7, _) => OpcodeInfo { has_modrm: true, imm_bytes: 4 },
+        (0xE9 | 0xE8, _) => OpcodeInfo { has_modrm: false, imm_bytes: 4 },
+        (0xC3 | 0x90, _) => OpcodeInfo { has_modrm: false, imm_bytes: 0 },
+        _ => return None,
+    })
+}
+
+/// Encodes [`MachineInst`]s into superset-ISA bytes.
+///
+/// # Example
+///
+/// ```
+/// use cisa_isa::{Encoder, FeatureSet, ArchReg};
+/// use cisa_isa::inst::{MachineInst, MacroOpcode, Operand};
+///
+/// let enc = Encoder::new(FeatureSet::superset());
+/// // Using register r40 forces the 2-byte REXBC prefix.
+/// let inst = MachineInst::compute(
+///     MacroOpcode::IntAlu, ArchReg::gpr(40), Operand::Reg(ArchReg::gpr(2)), Operand::None);
+/// let bytes = enc.encode(&inst)?;
+/// assert!(bytes.has_rexbc);
+/// # Ok::<(), cisa_isa::encoding::EncodeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    fs: FeatureSet,
+}
+
+impl Encoder {
+    /// Creates an encoder targeting the given feature set.
+    pub fn new(fs: FeatureSet) -> Self {
+        Encoder { fs }
+    }
+
+    /// The feature set this encoder targets.
+    pub fn feature_set(&self) -> &FeatureSet {
+        &self.fs
+    }
+
+    /// Encodes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError::IllegalUnderFeatureSet`] if the
+    /// instruction uses features the target set lacks.
+    pub fn encode(&self, inst: &MachineInst) -> Result<EncodedInst, EncodeError> {
+        if !inst.legal_under(&self.fs) {
+            return Err(EncodeError::IllegalUnderFeatureSet {
+                inst: inst.to_string(),
+                feature_set: self.fs.to_string(),
+            });
+        }
+        let mut bytes = Vec::with_capacity(8);
+
+        // Legacy prefixes: SSE scalar/packed selection, mimicking real
+        // x86 (0xF2 for scalar double ops, 0x66 for packed integer).
+        let mut legacy = 0u8;
+        match inst.opcode {
+            MacroOpcode::FpAlu | MacroOpcode::FpMul => {
+                bytes.push(0xF2);
+                legacy += 1;
+            }
+            MacroOpcode::VecAlu => {
+                bytes.push(0x66);
+                legacy += 1;
+            }
+            _ => {}
+        }
+
+        // REXBC: needed when any register is in the 16..64 tier.
+        let needs_rexbc = inst
+            .registers()
+            .any(|r| r.encoding_tier() == EncodingTier::Rexbc);
+        if needs_rexbc {
+            let payload = Self::rexbc_payload(inst);
+            bytes.push(REXBC_MARKER);
+            bytes.push(payload);
+        }
+
+        // Predicate prefix.
+        let has_predicate = inst.predicate.is_some();
+        if let Some(p) = inst.predicate {
+            bytes.push(PREDICATE_MARKER);
+            bytes.push(((p.negated as u8) << 7) | (p.reg.index() & 0x7F));
+        }
+
+        // REX: wide operation, any register in the 8..16 tier, or a
+        // REXBC prefix (whose 2 extra bits per operand are combined with
+        // the REX/ModRM/SIB bits to address all 64 registers).
+        let needs_rex = needs_rexbc
+            || (inst.wide && self.fs.width() == RegisterWidth::W64)
+            || inst
+                .registers()
+                .any(|r| r.encoding_tier() >= EncodingTier::Rex);
+        if needs_rex {
+            let w = (inst.wide as u8) << 3;
+            let rex_bits = Self::rex_bits(inst);
+            bytes.push(0x40 | w | rex_bits);
+        }
+
+        let mut imm = inst.src1.imm_bytes().max(inst.src2.imm_bytes());
+        // mov-immediate to a memory destination needs the ModRM form
+        // (x86's 0xC6/0xC7), not the register-encoded 0xB0/0xB8.
+        if inst.opcode == MacroOpcode::Mov && inst.mem.is_some() && imm > 0 {
+            imm = if imm == 1 { 2 } else { 3 };
+        }
+        let (op_bytes, info) = opcode_bytes(inst.opcode, imm);
+        bytes.extend_from_slice(op_bytes);
+
+        let mut has_modrm = false;
+        let mut has_sib = false;
+        let mut disp_bytes = 0u8;
+        if info.has_modrm {
+            has_modrm = true;
+            let (modrm, sib, disp) = Self::modrm_sib(inst);
+            bytes.push(modrm);
+            if let Some(s) = sib {
+                has_sib = true;
+                bytes.push(s);
+            }
+            disp_bytes = disp;
+            for i in 0..disp {
+                bytes.push(0x10 + i); // deterministic placeholder displacement
+            }
+        }
+        for i in 0..info.imm_bytes {
+            bytes.push(0x20 + i); // deterministic placeholder immediate
+        }
+
+        debug_assert!(bytes.len() <= MAX_INST_LEN, "instruction too long: {inst}");
+        Ok(EncodedInst {
+            bytes,
+            legacy_prefixes: legacy,
+            has_rexbc: needs_rexbc,
+            has_predicate,
+            has_rex: needs_rex,
+            opcode_len: op_bytes.len() as u8,
+            has_modrm,
+            has_sib,
+            disp_bytes,
+            imm_bytes: info.imm_bytes,
+        })
+    }
+
+    /// Encoded length of an instruction without materializing bytes.
+    pub fn encoded_len(&self, inst: &MachineInst) -> Result<usize, EncodeError> {
+        self.encode(inst).map(|e| e.len())
+    }
+
+    fn rexbc_payload(inst: &MachineInst) -> u8 {
+        // 2 bits each for reg, index, base extension; low 2 bits lift
+        // the sub-register pairing restrictions (always set here).
+        let ext = |r: Option<ArchReg>| r.map_or(0, |r| (r.index() >> 4) & 0x3);
+        let reg = ext(inst.dst.or(inst.src1.reg()));
+        let index = ext(inst.mem.and_then(|m| m.index));
+        let base = ext(inst.mem.map(|m| m.base));
+        (reg << 6) | (index << 4) | (base << 2) | 0b11
+    }
+
+    fn rex_bits(inst: &MachineInst) -> u8 {
+        let bit = |r: Option<ArchReg>| r.map_or(0, |r| ((r.index() >> 3) & 1) as u8);
+        let r = bit(inst.dst.or(inst.src1.reg()));
+        let x = bit(inst.mem.and_then(|m| m.index));
+        let b = bit(inst.mem.map(|m| m.base).or(inst.src2.reg()));
+        (r << 2) | (x << 1) | b
+    }
+
+    fn modrm_sib(inst: &MachineInst) -> (u8, Option<u8>, u8) {
+        let reg_field = inst
+            .dst
+            .or(inst.src1.reg())
+            .map_or(0, |r| r.index() & 0x7);
+        match inst.mem {
+            None => {
+                // Register-direct: mod = 11.
+                let rm = inst.src2.reg().or(inst.src1.reg()).map_or(0, |r| r.index() & 0x7);
+                (0b11 << 6 | reg_field << 3 | rm, None, 0)
+            }
+            Some(m) => {
+                let (mod_bits, disp) = match (m.mode, m.disp_bytes) {
+                    (AddressingMode::Absolute, _) => (0b00, 4),
+                    (_, 0) => (0b00, 0),
+                    (_, 1) => (0b01, 1),
+                    _ => (0b10, 4),
+                };
+                match m.mode {
+                    AddressingMode::Absolute => {
+                        // mod=00 rm=101 -> disp32 absolute.
+                        (reg_field << 3 | 0b101, None, disp)
+                    }
+                    AddressingMode::BaseIndexScaleDisp => {
+                        let sib = (0b10 << 6) // scale 4
+                            | ((m.index.map_or(0b100, |r| r.index() & 0x7)) << 3)
+                            | (m.base.index() & 0x7);
+                        (mod_bits << 6 | reg_field << 3 | 0b100, Some(sib), disp)
+                    }
+                    AddressingMode::BaseOnly | AddressingMode::BaseDisp => {
+                        let base_low = m.base.index() & 0x7;
+                        if base_low == 0b100 {
+                            // rm=100 escapes to SIB; encode "no index".
+                            let sib = (0b100 << 3) | base_low;
+                            (mod_bits << 6 | reg_field << 3 | 0b100, Some(sib), disp)
+                        } else if base_low == 0b101 && mod_bits == 0b00 {
+                            // mod=00 rm=101 means absolute; force disp8.
+                            (0b01 << 6 | reg_field << 3 | base_low, None, 1)
+                        } else {
+                            (mod_bits << 6 | reg_field << 3 | base_low, None, disp)
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A decoded instruction length record produced by the ILD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedLength {
+    /// Total instruction length in bytes.
+    pub len: usize,
+    /// Legacy prefix count.
+    pub legacy_prefixes: u8,
+    /// REXBC prefix present.
+    pub has_rexbc: bool,
+    /// Predicate prefix present.
+    pub has_predicate: bool,
+    /// REX prefix present.
+    pub has_rex: bool,
+}
+
+/// Errors from length decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Ran out of bytes mid-instruction.
+    Truncated,
+    /// Unknown opcode byte.
+    UnknownOpcode(u8),
+    /// Instruction exceeds the 15-byte architectural limit.
+    TooLong,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "byte stream ends mid-instruction"),
+            DecodeError::UnknownOpcode(b) => write!(f, "unknown opcode byte {b:#04x}"),
+            DecodeError::TooLong => write!(f, "instruction exceeds 15 bytes"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// The instruction-length decoder: parses raw bytes exactly the way the
+/// hardware ILD of Section V-B does (prefix scan, speculative length
+/// calculation, mark boundaries).
+#[derive(Debug, Clone, Default)]
+pub struct InstLengthDecoder;
+
+impl InstLengthDecoder {
+    /// Creates a length decoder.
+    pub fn new() -> Self {
+        InstLengthDecoder
+    }
+
+    /// Decodes the length (and prefix structure) of the instruction at
+    /// the start of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated streams, unknown opcodes, or
+    /// over-long instructions.
+    pub fn decode_one(&self, bytes: &[u8]) -> Result<DecodedLength, DecodeError> {
+        let mut pos = 0usize;
+        let next = |pos: &mut usize| -> Result<u8, DecodeError> {
+            let b = *bytes.get(*pos).ok_or(DecodeError::Truncated)?;
+            *pos += 1;
+            Ok(b)
+        };
+
+        let mut legacy = 0u8;
+        let mut has_rexbc = false;
+        let mut has_predicate = false;
+        let mut has_rex = false;
+
+        // Legacy prefixes.
+        let mut b = next(&mut pos)?;
+        while matches!(b, 0x66 | 0x67 | 0xF2 | 0xF3 | 0x2E | 0x3E) {
+            legacy += 1;
+            b = next(&mut pos)?;
+        }
+        // REXBC.
+        if b == REXBC_MARKER {
+            has_rexbc = true;
+            let _payload = next(&mut pos)?;
+            b = next(&mut pos)?;
+        }
+        // Predicate.
+        if b == PREDICATE_MARKER {
+            has_predicate = true;
+            let _payload = next(&mut pos)?;
+            b = next(&mut pos)?;
+        }
+        // REX.
+        if (0x40..=0x4F).contains(&b) {
+            has_rex = true;
+            b = next(&mut pos)?;
+        }
+        // Opcode (possibly 2-byte).
+        let info = if b == 0x0F {
+            let b2 = next(&mut pos)?;
+            opcode_info_for(0x0F, Some(b2)).ok_or(DecodeError::UnknownOpcode(b2))?
+        } else {
+            opcode_info_for(b, None).ok_or(DecodeError::UnknownOpcode(b))?
+        };
+
+        if info.has_modrm {
+            let modrm = next(&mut pos)?;
+            let mod_bits = modrm >> 6;
+            let rm = modrm & 0x7;
+            if mod_bits != 0b11 && rm == 0b100 {
+                let _sib = next(&mut pos)?;
+            }
+            let disp = match (mod_bits, rm) {
+                (0b00, 0b101) => 4,
+                (0b01, _) => 1,
+                (0b10, _) => 4,
+                _ => 0,
+            };
+            for _ in 0..disp {
+                next(&mut pos)?;
+            }
+        }
+        for _ in 0..info.imm_bytes {
+            next(&mut pos)?;
+        }
+
+        if pos > MAX_INST_LEN {
+            return Err(DecodeError::TooLong);
+        }
+        Ok(DecodedLength {
+            len: pos,
+            legacy_prefixes: legacy,
+            has_rexbc,
+            has_predicate,
+            has_rex,
+        })
+    }
+
+    /// Decodes a whole byte stream into consecutive instruction lengths.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any instruction fails to decode; trailing garbage is an
+    /// error too.
+    pub fn decode_stream(&self, mut bytes: &[u8]) -> Result<Vec<DecodedLength>, DecodeError> {
+        let mut out = Vec::new();
+        while !bytes.is_empty() {
+            let d = self.decode_one(bytes)?;
+            bytes = &bytes[d.len..];
+            out.push(d);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{MemLocality, MemOperand, MemRole, Operand};
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::gpr(i)
+    }
+
+    fn roundtrip(inst: &MachineInst, fs: FeatureSet) {
+        let enc = Encoder::new(fs).encode(inst).expect("encodes");
+        let dec = InstLengthDecoder::new().decode_one(&enc.bytes).expect("decodes");
+        assert_eq!(dec.len, enc.bytes.len(), "length mismatch for {inst}");
+        assert_eq!(dec.has_rexbc, enc.has_rexbc, "{inst}");
+        assert_eq!(dec.has_predicate, enc.has_predicate, "{inst}");
+        assert_eq!(dec.has_rex, enc.has_rex, "{inst}");
+        assert_eq!(dec.legacy_prefixes, enc.legacy_prefixes, "{inst}");
+    }
+
+    #[test]
+    fn simple_alu_is_two_bytes() {
+        let i = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(2)), Operand::Reg(r(3)));
+        let enc = Encoder::new(FeatureSet::x86_64()).encode(&i).unwrap();
+        assert_eq!(enc.bytes.len(), 2); // opcode + modrm
+        roundtrip(&i, FeatureSet::x86_64());
+    }
+
+    #[test]
+    fn rexbc_register_adds_two_bytes() {
+        let lo = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(2)), Operand::None);
+        let hi = MachineInst::compute(MacroOpcode::IntAlu, r(40), Operand::Reg(r(2)), Operand::None);
+        let enc = Encoder::new(FeatureSet::superset());
+        let lo_len = enc.encoded_len(&lo).unwrap();
+        let hi_len = enc.encoded_len(&hi).unwrap();
+        // REXBC is 2 bytes and always rides with a REX prefix (its 2
+        // extra bits per operand combine with the REX bit).
+        assert_eq!(hi_len, lo_len + 3);
+        roundtrip(&hi, FeatureSet::superset());
+    }
+
+    #[test]
+    fn predicate_prefix_adds_two_bytes() {
+        let plain = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(2)), Operand::None);
+        let pred = plain.predicated_on(r(5), true);
+        let enc = Encoder::new(FeatureSet::superset());
+        assert_eq!(
+            enc.encoded_len(&pred).unwrap(),
+            enc.encoded_len(&plain).unwrap() + 2
+        );
+        roundtrip(&pred, FeatureSet::superset());
+    }
+
+    #[test]
+    fn rex_register_adds_one_byte() {
+        let lo = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(2)), Operand::None);
+        let hi = MachineInst::compute(MacroOpcode::IntAlu, r(9), Operand::Reg(r(2)), Operand::None);
+        let enc = Encoder::new(FeatureSet::x86_64());
+        assert_eq!(enc.encoded_len(&hi).unwrap(), enc.encoded_len(&lo).unwrap() + 1);
+    }
+
+    #[test]
+    fn illegal_instruction_is_rejected() {
+        let v = MachineInst::compute(MacroOpcode::VecAlu, r(1), Operand::Reg(r(2)), Operand::None);
+        assert!(Encoder::new(FeatureSet::minimal()).encode(&v).is_err());
+    }
+
+    #[test]
+    fn addressing_modes_roundtrip() {
+        let fs = FeatureSet::x86_64();
+        let cases = [
+            MachineInst::load(r(1), MemOperand::base_only(r(2), MemLocality::Stack)),
+            MachineInst::load(r(1), MemOperand::base_disp(r(2), 1, MemLocality::Stack)),
+            MachineInst::load(r(1), MemOperand::base_disp(r(2), 4, MemLocality::Stream)),
+            MachineInst::load(r(1), MemOperand::base_index(r(2), r(3), 4, MemLocality::Stream)),
+            MachineInst::load(r(1), MemOperand::base_index(r(2), r(3), 0, MemLocality::Stream)),
+            // rm=100 escape: base register 4 needs a SIB byte.
+            MachineInst::load(r(1), MemOperand::base_only(r(4), MemLocality::Stack)),
+            // rm=101 with mod=00 would alias absolute: forced disp8.
+            MachineInst::load(r(1), MemOperand::base_only(r(5), MemLocality::Stack)),
+            MachineInst::store(r(1), MemOperand::base_disp(r(6), 4, MemLocality::WorkingSet)),
+        ];
+        for inst in &cases {
+            roundtrip(inst, fs);
+        }
+    }
+
+    #[test]
+    fn control_flow_roundtrips() {
+        let fs = FeatureSet::x86_64();
+        for inst in [
+            MachineInst::branch(),
+            MachineInst::jump(),
+            MachineInst {
+                opcode: MacroOpcode::Call,
+                ..MachineInst::jump()
+            },
+            MachineInst {
+                opcode: MacroOpcode::Ret,
+                ..MachineInst::jump()
+            },
+        ] {
+            roundtrip(&inst, fs);
+        }
+    }
+
+    #[test]
+    fn sse_ops_carry_legacy_prefix() {
+        let fs = FeatureSet::x86_64();
+        let v = MachineInst::compute(MacroOpcode::VecAlu, r(1), Operand::Reg(r(2)), Operand::None);
+        let f = MachineInst::compute(MacroOpcode::FpAlu, r(1), Operand::Reg(r(2)), Operand::None);
+        assert_eq!(Encoder::new(fs).encode(&v).unwrap().legacy_prefixes, 1);
+        assert_eq!(Encoder::new(fs).encode(&f).unwrap().legacy_prefixes, 1);
+        roundtrip(&v, fs);
+        roundtrip(&f, fs);
+    }
+
+    #[test]
+    fn stream_decode_walks_multiple_instructions() {
+        let fs = FeatureSet::superset();
+        let enc = Encoder::new(fs);
+        let insts = [
+            MachineInst::compute(MacroOpcode::IntAlu, r(20), Operand::Reg(r(2)), Operand::None),
+            MachineInst::load(r(1), MemOperand::base_disp(r(2), 4, MemLocality::Stack)),
+            MachineInst::branch(),
+        ];
+        let mut stream = Vec::new();
+        for i in &insts {
+            stream.extend_from_slice(&enc.encode(i).unwrap().bytes);
+        }
+        let decoded = InstLengthDecoder::new().decode_stream(&stream).unwrap();
+        assert_eq!(decoded.len(), 3);
+        assert!(decoded[0].has_rexbc);
+        assert!(!decoded[1].has_rexbc);
+    }
+
+    #[test]
+    fn decode_errors() {
+        let ild = InstLengthDecoder::new();
+        assert_eq!(ild.decode_one(&[]), Err(DecodeError::Truncated));
+        assert_eq!(ild.decode_one(&[0xFF]), Err(DecodeError::UnknownOpcode(0xFF)));
+        assert_eq!(ild.decode_one(&[0x83, 0xC0]), Err(DecodeError::Truncated)); // missing imm8
+    }
+
+    #[test]
+    fn wide_ops_set_rex_w() {
+        let fs = FeatureSet::x86_64();
+        let i = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(2)), Operand::None).wide();
+        let enc = Encoder::new(fs).encode(&i).unwrap();
+        assert!(enc.has_rex);
+        roundtrip(&i, fs);
+    }
+
+    #[test]
+    fn immediates_lengthen_encoding() {
+        let fs = FeatureSet::x86_64();
+        let enc = Encoder::new(fs);
+        let i8 = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Imm(1), Operand::None);
+        let i32 = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Imm(4), Operand::None);
+        assert_eq!(enc.encoded_len(&i32).unwrap(), enc.encoded_len(&i8).unwrap() + 3);
+        roundtrip(&i8, fs);
+        roundtrip(&i32, fs);
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests: every encodable instruction roundtrips through
+//! the instruction-length decoder, under every feature set.
+
+use cisa_isa::inst::{MachineInst, MacroOpcode, MemLocality, MemOperand, MemRole, Operand};
+use cisa_isa::{ArchReg, Encoder, FeatureSet, InstLengthDecoder};
+use proptest::prelude::*;
+
+fn arb_opcode() -> impl Strategy<Value = MacroOpcode> {
+    prop_oneof![
+        Just(MacroOpcode::Mov),
+        Just(MacroOpcode::IntAlu),
+        Just(MacroOpcode::IntMul),
+        Just(MacroOpcode::Lea),
+        Just(MacroOpcode::FpAlu),
+        Just(MacroOpcode::FpMul),
+        Just(MacroOpcode::VecAlu),
+        Just(MacroOpcode::Cmov),
+    ]
+}
+
+fn arb_locality() -> impl Strategy<Value = MemLocality> {
+    prop_oneof![
+        Just(MemLocality::Stack),
+        Just(MemLocality::Stream),
+        Just(MemLocality::WorkingSet),
+        Just(MemLocality::PointerChase),
+    ]
+}
+
+fn arb_mem() -> impl Strategy<Value = MemOperand> {
+    (0u8..64, 0u8..64, prop_oneof![Just(0u8), Just(1), Just(4)], arb_locality(), 0u8..3).prop_map(
+        |(base, index, disp, locality, mode)| match mode {
+            0 => MemOperand::base_only(ArchReg::gpr(base), locality),
+            1 => {
+                if disp == 0 {
+                    MemOperand::base_only(ArchReg::gpr(base), locality)
+                } else {
+                    MemOperand::base_disp(ArchReg::gpr(base), disp, locality)
+                }
+            }
+            _ => MemOperand::base_index(ArchReg::gpr(base), ArchReg::gpr(index), disp, locality),
+        },
+    )
+}
+
+fn arb_inst() -> impl Strategy<Value = MachineInst> {
+    let compute = (
+        arb_opcode(),
+        0u8..64,
+        0u8..64,
+        prop_oneof![
+            Just(Operand::None),
+            (0u8..64).prop_map(|r| Operand::Reg(ArchReg::gpr(r))),
+            Just(Operand::Imm(1)),
+            Just(Operand::Imm(4)),
+        ],
+        proptest::option::of(arb_mem()),
+        proptest::bool::ANY,
+        proptest::option::of((0u8..64, proptest::bool::ANY)),
+        proptest::bool::ANY,
+    )
+        .prop_map(|(op, dst, s1, s2, mem, mem_dst, pred, wide)| {
+            let mut inst =
+                MachineInst::compute(op, ArchReg::gpr(dst), Operand::Reg(ArchReg::gpr(s1)), s2);
+            if let Some(m) = mem {
+                inst = inst.with_mem(m, if mem_dst { MemRole::Dst } else { MemRole::Src });
+            }
+            if let Some((p, neg)) = pred {
+                inst = inst.predicated_on(ArchReg::gpr(p), neg);
+            }
+            if wide {
+                inst = inst.wide();
+            }
+            inst
+        });
+    let loads = (0u8..64, arb_mem(), proptest::bool::ANY).prop_map(|(r, m, store)| {
+        if store {
+            MachineInst::store(ArchReg::gpr(r), m)
+        } else {
+            MachineInst::load(ArchReg::gpr(r), m)
+        }
+    });
+    let ctrl = prop_oneof![
+        Just(MachineInst::branch()),
+        Just(MachineInst::jump()),
+        Just(MachineInst {
+            opcode: MacroOpcode::Call,
+            ..MachineInst::jump()
+        }),
+        Just(MachineInst {
+            opcode: MacroOpcode::Ret,
+            ..MachineInst::jump()
+        }),
+        Just(MachineInst {
+            opcode: MacroOpcode::Nop,
+            ..MachineInst::jump()
+        }),
+    ];
+    prop_oneof![4 => compute, 2 => loads, 1 => ctrl]
+}
+
+proptest! {
+    /// Every instruction legal under a feature set encodes, decodes to
+    /// the same length, and reports the same prefix structure.
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_inst(), fs_idx in 0usize..26) {
+        let fs = FeatureSet::all()[fs_idx];
+        let encoder = Encoder::new(fs);
+        if !inst.legal_under(&fs) {
+            prop_assert!(encoder.encode(&inst).is_err());
+            return Ok(());
+        }
+        let enc = encoder.encode(&inst).unwrap();
+        prop_assert!(enc.len() <= cisa_isa::encoding::MAX_INST_LEN);
+        prop_assert!(!enc.is_empty());
+        let dec = InstLengthDecoder::new().decode_one(&enc.bytes).unwrap();
+        prop_assert_eq!(dec.len, enc.len());
+        prop_assert_eq!(dec.has_rexbc, enc.has_rexbc);
+        prop_assert_eq!(dec.has_predicate, enc.has_predicate);
+        prop_assert_eq!(dec.has_rex, enc.has_rex);
+        prop_assert_eq!(dec.legacy_prefixes, enc.legacy_prefixes);
+    }
+
+    /// Byte streams of consecutive instructions decode back to the same
+    /// instruction count and lengths (the ILD's actual job).
+    #[test]
+    fn stream_decode_roundtrip(insts in proptest::collection::vec(arb_inst(), 1..20)) {
+        let fs = FeatureSet::superset();
+        let encoder = Encoder::new(fs);
+        let mut stream = Vec::new();
+        let mut lens = Vec::new();
+        for inst in &insts {
+            if let Ok(e) = encoder.encode(inst) {
+                lens.push(e.len());
+                stream.extend_from_slice(&e.bytes);
+            }
+        }
+        let decoded = InstLengthDecoder::new().decode_stream(&stream).unwrap();
+        prop_assert_eq!(decoded.len(), lens.len());
+        for (d, l) in decoded.iter().zip(&lens) {
+            prop_assert_eq!(d.len, *l);
+        }
+    }
+
+    /// The micro-op expansion is 1:1 for every instruction legal under
+    /// any microx86 feature set (the defining property of microx86).
+    #[test]
+    fn microx86_legal_implies_single_uop(inst in arb_inst()) {
+        let micro = FeatureSet::minimal();
+        if inst.legal_under(&micro)
+            && !matches!(inst.opcode, MacroOpcode::Call | MacroOpcode::Ret)
+        {
+            prop_assert_eq!(inst.micro_ops().len(), 1);
+        }
+    }
+
+    /// The disassembler inverts the encoder structurally: length,
+    /// prefixes, and (for compute forms) the destination register field.
+    #[test]
+    fn disassembler_inverts_encoder(inst in arb_inst()) {
+        let fs = FeatureSet::superset();
+        if !inst.legal_under(&fs) {
+            return Ok(());
+        }
+        let enc = Encoder::new(fs).encode(&inst).unwrap();
+        let d = cisa_isa::disassemble(&enc.bytes).unwrap();
+        prop_assert_eq!(d.len as usize, enc.len());
+        prop_assert_eq!(d.has_rexbc, enc.has_rexbc);
+        prop_assert_eq!(d.predicate.is_some(), enc.has_predicate);
+        if let Some(p) = inst.predicate {
+            prop_assert_eq!(d.predicate, Some((p.reg.index(), p.negated)));
+        }
+        if let (Some(dst), Some(reg)) = (inst.dst, d.reg) {
+            prop_assert_eq!(reg, dst.index(), "dst register field");
+        }
+    }
+
+    /// Coverage in the feature lattice implies encodability: if a set
+    /// covers another, everything encodable under the covered set is
+    /// encodable under the covering set.
+    #[test]
+    fn coverage_implies_encodability(inst in arb_inst(), a in 0usize..26, b in 0usize..26) {
+        let all = FeatureSet::all();
+        let (fa, fb) = (all[a], all[b]);
+        if fa.covers(&fb) && inst.legal_under(&fb) {
+            prop_assert!(inst.legal_under(&fa), "{} covers {} but rejects {}", fa, fb, inst);
+        }
+    }
+}

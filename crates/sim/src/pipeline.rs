@@ -1,0 +1,547 @@
+//! Trace-driven cycle-accounting pipeline models (in-order and
+//! out-of-order), standing in for gem5.
+//!
+//! The model is a dataflow timing simulation: every micro-op gets a
+//! frontend-entry cycle (fetch/decode bandwidth, micro-op cache,
+//! I-cache bubbles, post-misprediction redirect stalls), an issue cycle
+//! (operand readiness through a register-ready table — implicit
+//! renaming — plus functional-unit and LSQ availability and, for
+//! in-order cores, program-order issue), and a completion cycle (ALU
+//! latency, cache hierarchy latency, store-to-load forwarding). ROB and
+//! IQ capacities throttle dispatch; commit retires in order at the core
+//! width. Branch direction comes from a real predictor; mispredictions
+//! stall fetch until the branch resolves plus a frontend refill.
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use cisa_decode::{DecodeFrontend, DecoderConfig, MacroRecord, SupplySource};
+use cisa_isa::uop::{MicroOp, MicroOpKind, UopClass};
+use cisa_workloads::DynUop;
+
+use crate::cache::Hierarchy;
+use crate::config::{CoreConfig, ExecSemantics};
+
+/// Activity counters consumed by the power model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Activity {
+    /// Micro-ops committed.
+    pub uops: u64,
+    /// Macro-ops fetched.
+    pub macro_ops: u64,
+    /// Micro-op cache hits / misses (macro-op granularity).
+    pub uopc_hits: u64,
+    /// Micro-op cache misses.
+    pub uopc_misses: u64,
+    /// Bytes through the instruction-length decoder.
+    pub ild_bytes: u64,
+    /// Simple/complex/MSROM decode events.
+    pub decodes: u64,
+    /// Branch-predictor lookups.
+    pub bp_lookups: u64,
+    /// Mispredictions.
+    pub bp_mispredicts: u64,
+    /// Integer ALU operations executed.
+    pub int_ops: u64,
+    /// Integer multiplies.
+    pub mul_ops: u64,
+    /// Scalar FP operations.
+    pub fp_ops: u64,
+    /// Packed SIMD operations.
+    pub vec_ops: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Loads satisfied by store-to-load forwarding.
+    pub forwards: u64,
+    /// L1D accesses / misses.
+    pub l1d_accesses: u64,
+    /// L1D misses.
+    pub l1d_misses: u64,
+    /// L2 accesses / misses.
+    pub l2_accesses: u64,
+    /// L2 misses (memory accesses).
+    pub l2_misses: u64,
+    /// L1I misses.
+    pub l1i_misses: u64,
+    /// Register-file reads.
+    pub regfile_reads: u64,
+    /// Register-file writes.
+    pub regfile_writes: u64,
+    /// Macro-fused pairs.
+    pub fused_pairs: u64,
+}
+
+/// Result of simulating one trace on one core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Activity counters.
+    pub activity: Activity,
+}
+
+impl SimResult {
+    /// Committed micro-ops per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.activity.uops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mispredictions per kilo-uop.
+    pub fn mpku(&self) -> f64 {
+        if self.activity.uops == 0 {
+            0.0
+        } else {
+            1000.0 * self.activity.bp_mispredicts as f64 / self.activity.uops as f64
+        }
+    }
+}
+
+/// Frontend refill penalty after a redirect (decode pipeline depth).
+const REDIRECT_REFILL: u64 = 14;
+/// Extra refill when the redirect target misses the micro-op cache.
+const REDIRECT_DECODE_EXTRA: u64 = 4;
+
+struct FuPool {
+    free: Vec<u64>,
+}
+
+impl FuPool {
+    fn new(n: u32) -> Self {
+        FuPool {
+            free: vec![0; n.max(1) as usize],
+        }
+    }
+
+    /// Earliest cycle a unit is free at or after `t`; books the unit.
+    fn acquire(&mut self, t: u64, busy: u64) -> u64 {
+        let (idx, &earliest) = self
+            .free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &f)| f)
+            .expect("pool non-empty");
+        let start = t.max(earliest);
+        self.free[idx] = start + busy;
+        start
+    }
+}
+
+/// # Example
+///
+/// ```
+/// use cisa_compiler::{compile, CompileOptions};
+/// use cisa_isa::FeatureSet;
+/// use cisa_sim::{simulate, CoreConfig};
+/// use cisa_workloads::{all_phases, generate, TraceGenerator, TraceParams};
+///
+/// let spec = &all_phases()[0];
+/// let fs = FeatureSet::x86_64();
+/// let code = compile(&generate(spec), &fs, &CompileOptions::default())?;
+/// let trace = TraceGenerator::new(&code, spec, TraceParams { max_uops: 2000, seed: 1 });
+/// let result = simulate(&CoreConfig::reference(fs), trace);
+/// assert!(result.ipc() > 0.0);
+/// # Ok::<(), cisa_compiler::CompileError>(())
+/// ```
+/// Simulates a core over a micro-op trace.
+pub fn simulate(cfg: &CoreConfig, trace: impl Iterator<Item = DynUop>) -> SimResult {
+    simulate_with_prefetcher(cfg, trace, false)
+}
+
+/// [`simulate`] with an optional L1D stream prefetcher (the prefetcher
+/// ablation; Table I has no prefetcher dimension, so the default
+/// simulations leave it off).
+pub fn simulate_with_prefetcher(
+    cfg: &CoreConfig,
+    trace: impl Iterator<Item = DynUop>,
+    prefetch: bool,
+) -> SimResult {
+    let mut fe = DecodeFrontend::new(DecoderConfig::for_complexity(cfg.fs.complexity()));
+    let l2_ways = if cfg.l2_kb >= 2048 { 8 } else { 4 };
+    let mut hier = Hierarchy::new(
+        cfg.l1_kb as u64 * 1024,
+        cfg.l1_kb as u64 * 1024,
+        4,
+        cfg.l2_kb as u64 * 1024,
+        l2_ways,
+    );
+    if prefetch {
+        hier = hier.with_prefetcher(4);
+    }
+    let mut bp = cfg.predictor.build();
+
+    let ooo = cfg.sem == ExecSemantics::OutOfOrder;
+    let width = cfg.width as u64;
+    let decode_width = fe.config().decode_width() as u64;
+    let rob_cap = if ooo { cfg.window.rob as usize } else { cfg.width as usize * 2 };
+    let iq_cap = if ooo { cfg.window.iq as usize } else { cfg.width as usize * 2 };
+    let lsq_cap = cfg.lsq as usize;
+
+    let mut int_pool = FuPool::new(cfg.int_alu);
+    let mut mul_pool = FuPool::new((cfg.int_alu / 3).max(1));
+    let mut fp_pool = FuPool::new(cfg.fp_alu);
+    let mut mem_pool = FuPool::new(2);
+
+    let mut reg_ready = [0u64; 256];
+    let mut rob: VecDeque<u64> = VecDeque::with_capacity(rob_cap); // commit times
+    let mut iq: BinaryHeap<std::cmp::Reverse<u64>> = BinaryHeap::new(); // issue times
+    let mut lsq: BinaryHeap<std::cmp::Reverse<u64>> = BinaryHeap::new(); // completion times
+    let mut store_fwd: HashMap<u64, u64> = HashMap::new();
+
+    // Frontend cursor.
+    let mut fetch_cycle = 0u64;
+    let mut fetch_uops_this_cycle = 0u64;
+    let mut fetch_stall_until = 0u64;
+    let mut cur_macro_capacity = width;
+
+    // In-order issue cursor.
+    let mut last_issue_cycle = 0u64;
+    let mut issued_this_cycle = 0u64;
+
+    // Commit cursor.
+    let mut commit_cycle = 0u64;
+    let mut committed_this_cycle = 0u64;
+
+    let mut act = Activity::default();
+    let mut last_completion = 0u64;
+
+    for u in trace {
+        // ---------------- frontend ----------------
+        if u.first {
+            act.macro_ops += 1;
+            let rec = MacroRecord {
+                pc: u.pc,
+                len: u.len,
+                uops: u.macro_uops,
+                fusible_cmp: u.kind == MicroOpKind::IntAlu && u.dst != MicroOp::NO_REG,
+                is_branch: u.kind == MicroOpKind::Branch,
+            };
+            let (source, _slots) = fe.supply(&rec);
+            match source {
+                SupplySource::UopCache => {
+                    cur_macro_capacity = width;
+                }
+                _ => {
+                    act.decodes += 1;
+                    cur_macro_capacity = width.min(decode_width);
+                    // Instruction bytes must come from the I-cache.
+                    let bubble = hier.inst_access(u.pc) as u64;
+                    if bubble > 0 {
+                        fetch_stall_until = fetch_stall_until.max(fetch_cycle + bubble);
+                    }
+                }
+            }
+        }
+
+        if fetch_cycle < fetch_stall_until {
+            fetch_cycle = fetch_stall_until;
+            fetch_uops_this_cycle = 0;
+        }
+        if fetch_uops_this_cycle >= width.min(cur_macro_capacity.max(1)) {
+            fetch_cycle += 1;
+            fetch_uops_this_cycle = 0;
+        }
+        fetch_uops_this_cycle += 1;
+        let mut entry = fetch_cycle;
+
+        // ---------------- dispatch throttles ----------------
+        if rob.len() >= rob_cap {
+            let head = rob.pop_front().expect("rob non-empty");
+            entry = entry.max(head);
+        }
+        if iq.len() >= iq_cap {
+            let std::cmp::Reverse(earliest_issue) = iq.pop().expect("iq non-empty");
+            entry = entry.max(earliest_issue);
+        }
+        let is_mem = u.kind.is_mem();
+        if is_mem && lsq.len() >= lsq_cap {
+            let std::cmp::Reverse(earliest_done) = lsq.pop().expect("lsq non-empty");
+            entry = entry.max(earliest_done);
+        }
+
+        // ---------------- issue ----------------
+        let mut ready = entry + 1;
+        for src in [u.src1, u.src2, u.pred] {
+            if src != MicroOp::NO_REG {
+                ready = ready.max(reg_ready[src as usize]);
+                act.regfile_reads += 1;
+            }
+        }
+        if !ooo {
+            // Program-order issue with width slots per cycle.
+            if ready > last_issue_cycle {
+                issued_this_cycle = 0;
+            } else {
+                ready = last_issue_cycle;
+                if issued_this_cycle >= width {
+                    ready += 1;
+                    issued_this_cycle = 0;
+                }
+            }
+        }
+
+        let issue = match u.kind.class() {
+            UopClass::Int => int_pool.acquire(ready, 1),
+            UopClass::IntMul => mul_pool.acquire(ready, 2),
+            UopClass::Fp | UopClass::Vec => fp_pool.acquire(ready, if u.kind == MicroOpKind::FpMul { 2 } else { 1 }),
+            UopClass::Mem => mem_pool.acquire(ready, 1),
+        };
+        if !ooo {
+            if issue > last_issue_cycle {
+                last_issue_cycle = issue;
+                issued_this_cycle = 1;
+            } else {
+                issued_this_cycle += 1;
+            }
+        }
+
+        // ---------------- execute / complete ----------------
+        let completion = match u.kind {
+            MicroOpKind::Load => {
+                act.loads += 1;
+                let line = u.mem_addr & !7;
+                if let Some(&st_done) = store_fwd.get(&line) {
+                    if st_done + 32 > issue {
+                        act.forwards += 1;
+                        issue.max(st_done) + 1
+                    } else {
+                        issue + 3 + hier.data_access(u.mem_addr) as u64
+                    }
+                } else {
+                    issue + 3 + hier.data_access(u.mem_addr) as u64
+                }
+            }
+            MicroOpKind::Store => {
+                act.stores += 1;
+                store_fwd.insert(u.mem_addr & !7, issue + 1);
+                if store_fwd.len() > 4096 {
+                    store_fwd.clear(); // bound the forwarding window
+                }
+                hier.data_access(u.mem_addr);
+                issue + 1
+            }
+            MicroOpKind::Branch => {
+                act.bp_lookups += 1;
+                let predicted = bp.predict(u.pc);
+                bp.update(u.pc, u.taken);
+                let done = issue + 1;
+                if predicted != u.taken {
+                    act.bp_mispredicts += 1;
+                    let miss_extra = 0; // refined below via uop cache state
+                    fetch_stall_until = fetch_stall_until
+                        .max(done + REDIRECT_REFILL + miss_extra + REDIRECT_DECODE_EXTRA / 2);
+                }
+                done
+            }
+            MicroOpKind::Jump => issue + 1,
+            MicroOpKind::IntMul => {
+                act.mul_ops += 1;
+                issue + u.kind.latency() as u64
+            }
+            MicroOpKind::FpAlu | MicroOpKind::FpMul => {
+                act.fp_ops += 1;
+                issue + u.kind.latency() as u64
+            }
+            MicroOpKind::VecAlu => {
+                act.vec_ops += 1;
+                issue + u.kind.latency() as u64
+            }
+            _ => {
+                act.int_ops += 1;
+                issue + 1
+            }
+        };
+        if matches!(u.kind, MicroOpKind::Branch | MicroOpKind::Jump) {
+            act.int_ops += 1; // resolved on an integer port
+        }
+
+        if u.dst != MicroOp::NO_REG {
+            reg_ready[u.dst as usize] = completion;
+            act.regfile_writes += 1;
+        }
+        act.uops += 1;
+        last_completion = last_completion.max(completion);
+
+        // ---------------- commit ----------------
+        let commit_ready = completion.max(commit_cycle);
+        if commit_ready > commit_cycle {
+            commit_cycle = commit_ready;
+            committed_this_cycle = 1;
+        } else {
+            committed_this_cycle += 1;
+            if committed_this_cycle > width {
+                commit_cycle += 1;
+                committed_this_cycle = 1;
+            }
+        }
+        rob.push_back(commit_cycle);
+        debug_assert!(rob.len() <= rob_cap, "dispatch capped the ROB before the push");
+        iq.push(std::cmp::Reverse(issue));
+        if is_mem {
+            lsq.push(std::cmp::Reverse(completion));
+        }
+    }
+
+    // Fold decode/cache stats into the activity record.
+    let d = fe.stats();
+    act.uopc_hits = d.uop_cache_hits;
+    act.uopc_misses = d.uop_cache_misses;
+    act.ild_bytes = d.ild_bytes;
+    act.fused_pairs = d.fused_pairs;
+    act.l1d_accesses = hier.l1d.accesses;
+    act.l1d_misses = hier.l1d.misses;
+    act.l2_accesses = hier.l2.accesses;
+    act.l2_misses = hier.l2.misses;
+    act.l1i_misses = hier.l1i.misses;
+
+    SimResult {
+        cycles: commit_cycle.max(last_completion).max(1),
+        activity: act,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cisa_compiler::{compile, CompileOptions};
+    use cisa_isa::FeatureSet;
+    use cisa_workloads::{all_phases, generate, PhaseSpec, TraceGenerator, TraceParams};
+
+    fn phase(bench: &str) -> PhaseSpec {
+        all_phases().into_iter().find(|p| p.benchmark == bench).unwrap()
+    }
+
+    fn run(bench: &str, cfg: &CoreConfig, n: usize) -> SimResult {
+        let spec = phase(bench);
+        let code = compile(&generate(&spec), &cfg.fs, &CompileOptions::default()).unwrap();
+        let trace = TraceGenerator::new(
+            &code,
+            &spec,
+            TraceParams {
+                max_uops: n,
+                seed: 7,
+            },
+        );
+        simulate(cfg, trace)
+    }
+
+    #[test]
+    fn ipc_is_within_physical_bounds() {
+        for bench in ["bzip2", "mcf", "lbm", "sjeng"] {
+            let cfg = CoreConfig::reference(FeatureSet::x86_64());
+            let r = run(bench, &cfg, 30_000);
+            let ipc = r.ipc();
+            assert!(ipc > 0.05 && ipc <= cfg.width as f64 + 1e-9, "{bench}: ipc {ipc}");
+        }
+    }
+
+    #[test]
+    fn big_core_beats_little_core() {
+        for bench in ["bzip2", "hmmer", "lbm"] {
+            let big = run(bench, &CoreConfig::big(FeatureSet::x86_64()), 30_000);
+            let little = run(bench, &CoreConfig::little(FeatureSet::x86_64()), 30_000);
+            assert!(
+                big.ipc() > little.ipc() * 1.15,
+                "{bench}: big {} vs little {}",
+                big.ipc(),
+                little.ipc()
+            );
+        }
+    }
+
+    #[test]
+    fn ooo_beats_inorder_at_same_width() {
+        let mut io = CoreConfig::reference(FeatureSet::x86_64());
+        io.sem = ExecSemantics::InOrder;
+        let ooo = CoreConfig::reference(FeatureSet::x86_64());
+        for bench in ["mcf", "bzip2"] {
+            let a = run(bench, &ooo, 30_000);
+            let b = run(bench, &io, 30_000);
+            assert!(
+                a.ipc() > b.ipc(),
+                "{bench}: ooo {} vs inorder {}",
+                a.ipc(),
+                b.ipc()
+            );
+        }
+    }
+
+    #[test]
+    fn mcf_is_memory_bound() {
+        let cfg = CoreConfig::reference(FeatureSet::x86_64());
+        let mcf = run("mcf", &cfg, 30_000);
+        let bzip = run("bzip2", &cfg, 30_000);
+        assert!(mcf.ipc() < bzip.ipc(), "mcf {} vs bzip2 {}", mcf.ipc(), bzip.ipc());
+        assert!(
+            mcf.activity.l2_misses > bzip.activity.l2_misses,
+            "mcf must miss L2 more"
+        );
+    }
+
+    #[test]
+    fn branchy_code_mispredicts_more() {
+        let cfg = CoreConfig::reference(FeatureSet::x86_64());
+        let sjeng = run("sjeng", &cfg, 30_000);
+        let lbm = run("lbm", &cfg, 30_000);
+        assert!(
+            sjeng.mpku() > lbm.mpku() * 2.0,
+            "sjeng {} vs lbm {}",
+            sjeng.mpku(),
+            lbm.mpku()
+        );
+    }
+
+    #[test]
+    fn bigger_l1_helps_memory_bound_code() {
+        let mut small = CoreConfig::reference(FeatureSet::x86_64());
+        small.l1_kb = 32;
+        let mut big = small;
+        big.l1_kb = 64;
+        let a = run("bzip2", &small, 40_000);
+        let b = run("bzip2", &big, 40_000);
+        assert!(
+            b.activity.l1d_misses <= a.activity.l1d_misses,
+            "bigger L1 cannot miss more"
+        );
+    }
+
+    #[test]
+    fn spill_heavy_code_forwards_stores() {
+        // hmmer at depth 8 spills: refills should hit the forwarding
+        // path often.
+        let cfg = CoreConfig::reference("x86-16D-64W".parse().unwrap());
+        let spec = phase("hmmer");
+        let code = compile(
+            &generate(&spec),
+            &"microx86-8D-32W".parse().unwrap(),
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        let trace = TraceGenerator::new(&code, &spec, TraceParams::default());
+        let mut c2 = cfg;
+        c2.fs = "microx86-8D-32W".parse().unwrap();
+        let r = simulate(&c2, trace);
+        assert!(r.activity.forwards > 0, "spill refills should forward");
+    }
+
+    #[test]
+    fn deterministic_simulation() {
+        let cfg = CoreConfig::reference(FeatureSet::x86_64());
+        let a = run("milc", &cfg, 10_000);
+        let b = run("milc", &cfg, 10_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uop_cache_hits_dominate_hot_loops() {
+        let cfg = CoreConfig::reference(FeatureSet::x86_64());
+        let r = run("libquantum", &cfg, 30_000);
+        let hit_rate = r.activity.uopc_hits as f64
+            / (r.activity.uopc_hits + r.activity.uopc_misses).max(1) as f64;
+        assert!(hit_rate > 0.7, "hot-loop uop cache hit rate {hit_rate}");
+    }
+}

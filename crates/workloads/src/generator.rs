@@ -1,0 +1,537 @@
+//! Seeded IR generation from a [`PhaseSpec`].
+//!
+//! Every phase becomes one [`IrFunction`] with the shape:
+//!
+//! ```text
+//! preheader -> [hot loop: compute region -> diamond/triangle chain ->
+//!               (vector loop) -> latch] -> exit
+//! ```
+//!
+//! The spec's knobs map onto the structure directly: `register_pressure`
+//! sets the number of simultaneously live values in the compute region,
+//! `branchiness`/`branch_style` set the number and the behaviour of
+//! data-dependent diamonds, `mem_intensity` and the locality profile
+//! drive load/store placement and classes, `vector_fraction` creates an
+//! SSE2-vectorizable inner loop, and `wide_fraction` marks 64-bit data
+//! operations. Generation is deterministic per seed.
+
+use cisa_isa::inst::MemLocality;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use cisa_compiler::ir::{
+    AddrExpr, BlockId, BranchBehavior, BranchPattern, IrBlock, IrFunction, IrInst, IrOp,
+    Terminator, VectorizableHint, VReg,
+};
+
+use crate::benchmarks::{BranchStyle, PhaseSpec};
+
+/// Normalized hot-loop weight: dynamic counts are per 1000 iterations of
+/// the phase's hot loop.
+pub const HOT_WEIGHT: f64 = 1000.0;
+
+/// # Example
+///
+/// ```
+/// use cisa_workloads::{all_phases, generate};
+///
+/// let ir = generate(&all_phases()[0]);
+/// assert!(ir.validate().is_ok());
+/// assert!(ir.blocks.len() >= 4); // preheader, hot loop, latch, exit
+/// ```
+/// Generates the IR function for one phase.
+pub fn generate(spec: &PhaseSpec) -> IrFunction {
+    Generator::new(spec).build()
+}
+
+struct Generator<'s> {
+    spec: &'s PhaseSpec,
+    rng: SmallRng,
+    func: IrFunction,
+    /// Base pointers created in the preheader.
+    base_ws: VReg,
+    base_stream: VReg,
+    chase_ptr: VReg,
+    induction: VReg,
+    consts: Vec<VReg>,
+}
+
+impl<'s> Generator<'s> {
+    fn new(spec: &'s PhaseSpec) -> Self {
+        let mut func = IrFunction::new(spec.name());
+        let base_ws = func.new_vreg();
+        let base_stream = func.new_vreg();
+        let chase_ptr = func.new_vreg();
+        let induction = func.new_vreg();
+        let consts = (0..3).map(|_| func.new_vreg()).collect();
+        Generator {
+            spec,
+            rng: SmallRng::seed_from_u64(spec.seed),
+            func,
+            base_ws,
+            base_stream,
+            chase_ptr,
+            induction,
+            consts,
+        }
+    }
+
+    fn locality(&mut self) -> MemLocality {
+        let p: f64 = self.rng.gen();
+        let profile = &self.spec.locality;
+        if p < profile.pointer_chase_fraction {
+            MemLocality::PointerChase
+        } else {
+            let stream_share = profile.stream_bytes as f64
+                / (profile.stream_bytes + profile.working_set_bytes).max(1) as f64;
+            if self.rng.gen::<f64>() < stream_share {
+                MemLocality::Stream
+            } else {
+                MemLocality::WorkingSet
+            }
+        }
+    }
+
+    fn addr_for(&mut self, loc: MemLocality) -> AddrExpr {
+        let disp = self.rng.gen_range(0..24) * 8;
+        match loc {
+            MemLocality::Stream => AddrExpr::base_index(self.base_stream, self.induction, disp),
+            MemLocality::PointerChase => AddrExpr::base(self.chase_ptr),
+            _ => AddrExpr::base_disp(self.base_ws, disp),
+        }
+    }
+
+    fn is_wide(&mut self) -> bool {
+        self.rng.gen::<f64>() < self.spec.wide_fraction
+    }
+
+    /// One data-dependent branch behaviour drawn from the phase's style.
+    fn branch_behavior(&mut self) -> BranchBehavior {
+        match self.spec.branch_style {
+            BranchStyle::Regular => BranchBehavior::biased(if self.rng.gen() { 0.9 } else { 0.1 }),
+            BranchStyle::Patterned => BranchBehavior {
+                taken_prob: self.rng.gen_range(0.3..0.7),
+                pattern: BranchPattern::Periodic {
+                    period: self.rng.gen_range(3..9),
+                },
+            },
+            BranchStyle::Irregular => BranchBehavior::random(self.rng.gen_range(0.35..0.65)),
+        }
+    }
+
+    /// A compute op (integer or FP per the phase mix) into `dst`.
+    fn compute_op(&mut self, dst: VReg, a: VReg, b: VReg) -> IrInst {
+        let fp = self.rng.gen::<f64>() < self.spec.fp_fraction;
+        let op = if fp {
+            if self.rng.gen::<f64>() < 0.35 {
+                IrOp::FpMul
+            } else {
+                IrOp::FpAlu
+            }
+        } else if self.rng.gen::<f64>() < 0.06 {
+            IrOp::IntMul
+        } else {
+            IrOp::IntAlu
+        };
+        let mut inst = IrInst::compute(op, dst, a, b);
+        if !fp && self.is_wide() {
+            inst = inst.wide();
+        }
+        inst
+    }
+
+    fn build(mut self) -> IrFunction {
+        let spec = self.spec;
+        let trip = spec.loop_trip.max(2);
+        let entries = (HOT_WEIGHT / trip as f64).max(1.0);
+
+        // Block ids are assigned as we push; we lay out:
+        // 0: preheader, 1: compute header, 2..: diamonds, vector loop,
+        // latch, exit. We build bodies first into local vecs, then wire
+        // terminators once ids are known.
+        let mut preheader = IrBlock::new(Terminator::Jump(BlockId(1)), entries);
+        preheader.insts.push(IrInst::constant(self.base_ws, 4));
+        preheader.insts.push(IrInst::constant(self.base_stream, 4));
+        preheader.insts.push(IrInst::constant(self.chase_ptr, 4));
+        preheader.insts.push(IrInst::constant(self.induction, 1));
+        for i in 0..self.consts.len() {
+            let c = self.consts[i];
+            preheader
+                .insts
+                .push(IrInst::constant(c, if i == 0 { 1 } else { 4 }));
+        }
+
+        // --- compute region: `register_pressure` simultaneously live ---
+        let mut header = IrBlock::new(Terminator::Jump(BlockId(2)), HOT_WEIGHT);
+        header.loop_depth = 1;
+        let press = spec.register_pressure.max(2);
+        let mut live: Vec<VReg> = Vec::with_capacity(press as usize);
+        for _ in 0..press {
+            let v = self.func.new_vreg();
+            // Mix of loaded and computed values; mem_intensity governs
+            // the load share.
+            if self.rng.gen::<f64>() < spec.mem_intensity * 1.6 {
+                let loc = self.locality();
+                let addr = self.addr_for(loc);
+                let mut ld = IrInst::load(v, addr, loc);
+                if self.is_wide() {
+                    ld = ld.wide();
+                }
+                if loc == MemLocality::PointerChase {
+                    // The loaded value becomes the next pointer.
+                    self.chase_ptr = v;
+                }
+                header.insts.push(ld);
+            } else {
+                let a = *pick(&mut self.rng, &live).unwrap_or(&self.consts[0]);
+                let b = *pick(&mut self.rng, &live).unwrap_or(&self.consts[1]);
+                header.insts.push(self.compute_op(v, a, b));
+            }
+            live.push(v);
+        }
+        // Consume all live values through `ilp_chains` parallel
+        // reduction chains, keeping them simultaneously live until here.
+        let chains = spec.ilp_chains.max(1) as usize;
+        let mut accs: Vec<VReg> = (0..chains).map(|_| self.func.new_vreg()).collect();
+        for &acc in &accs {
+            header.insts.push(IrInst::constant(acc, 1));
+        }
+        for (i, &v) in live.iter().enumerate() {
+            let chain = i % chains;
+            let next = self.func.new_vreg();
+            header.insts.push(self.compute_op(next, accs[chain], v));
+            accs[chain] = next;
+        }
+        // Fold-friendly load-use pairs: values loaded immediately
+        // before their single use, the dominant memory idiom in real
+        // x86 code (these fold into memory-operand ALU forms under full
+        // x86 complexity and stay load-compute pairs under microx86).
+        let n_fold = ((press as f64) * spec.mem_intensity * 0.6).round() as usize;
+        for _ in 0..n_fold {
+            let v = self.func.new_vreg();
+            let loc = self.locality();
+            let addr = self.addr_for(loc);
+            header.insts.push(IrInst::load(v, addr, loc));
+            let nv = self.func.new_vreg();
+            let acc = accs[0];
+            header.insts.push(self.compute_op(nv, acc, v));
+            accs[0] = nv;
+        }
+
+        // Stores per mem intensity (about one store per two loads,
+        // independent of register pressure).
+        let n_stores = ((spec.mem_intensity * 14.0).round() as usize).max(2);
+        for s in 0..n_stores {
+            let loc = self.locality();
+            let addr = self.addr_for(loc);
+            let mut st = IrInst::store(accs[s % chains], addr, loc);
+            if self.is_wide() {
+                st = st.wide();
+            }
+            header.insts.push(st);
+        }
+
+        // --- diamond / triangle chain ---
+        let n_patterns = (spec.branchiness * 4.0).round() as usize;
+        // Layout bookkeeping: we push blocks in order and compute ids.
+        // preheader=0, header=1, then each pattern uses 3 blocks
+        // (entry, t, f) for diamonds or 2 (entry, t) for triangles; then
+        // optional vector loop; then latch; then exit.
+        struct Pattern {
+            entry: IrBlock,
+            t: IrBlock,
+            f: Option<IrBlock>,
+        }
+        let mut patterns: Vec<Pattern> = Vec::new();
+        let cond_src = accs[0];
+        for k in 0..n_patterns {
+            let behavior = self.branch_behavior();
+            let cond = self.func.new_vreg();
+            let mut entry = IrBlock::new(Terminator::Ret, HOT_WEIGHT); // wired later
+            entry.loop_depth = 1;
+            entry.insts.push(IrInst::compute(IrOp::Cmp, cond, cond_src, self.consts[k % 3]));
+            let diamond = self.rng.gen::<f64>() < 0.6;
+            let arm_len = self.rng.gen_range(2..6);
+            let mut t = IrBlock::new(Terminator::Ret, HOT_WEIGHT * behavior.taken_prob);
+            t.loop_depth = 1;
+            let mut prev = cond_src;
+            for _ in 0..arm_len {
+                let v = self.func.new_vreg();
+                if self.rng.gen::<f64>() < spec.mem_intensity * 0.5 {
+                    let loc = self.locality();
+                    let addr = self.addr_for(loc);
+                    t.insts.push(IrInst::load(v, addr, loc));
+                } else {
+                    let op = self.compute_op(v, prev, cond);
+                    t.insts.push(op);
+                }
+                prev = v;
+            }
+            let f = if diamond {
+                let mut f = IrBlock::new(
+                    Terminator::Ret,
+                    HOT_WEIGHT * (1.0 - behavior.taken_prob),
+                );
+                f.loop_depth = 1;
+                let mut prev = cond_src;
+                for _ in 0..self.rng.gen_range(2..5) {
+                    let v = self.func.new_vreg();
+                    let op = self.compute_op(v, prev, cond);
+                    f.insts.push(op);
+                    prev = v;
+                }
+                Some(f)
+            } else {
+                None
+            };
+            // Wire the entry's branch targets after we know ids; store
+            // behaviour in the terminator placeholder via a Branch with
+            // dummy ids fixed below.
+            entry.term = Terminator::Branch {
+                cond,
+                taken: BlockId(0),     // fixed up below
+                not_taken: BlockId(0), // fixed up below
+                behavior,
+            };
+            patterns.push(Pattern { entry, t, f });
+        }
+
+        // --- optional vectorizable inner loop ---
+        let vector_block = if spec.vector_fraction > 0.0 {
+            // Inner scalar trip count proportional to the vector share;
+            // on SSE cores isel divides the weight by the lane count and
+            // the trace generator shrinks the trip to match.
+            let t_v = (spec.vector_fraction * 48.0).round().max(2.0);
+            let w = HOT_WEIGHT * t_v;
+            let mut v = IrBlock::new(Terminator::Ret, w);
+            v.loop_depth = 2;
+            v.vectorizable = Some(VectorizableHint { lanes: 4 });
+            let x = self.func.new_vreg();
+            let y = self.func.new_vreg();
+            let z = self.func.new_vreg();
+            v.insts.push(IrInst::load(x, AddrExpr::base_index(self.base_stream, self.induction, 0), MemLocality::Stream));
+            v.insts.push(IrInst::load(y, AddrExpr::base_index(self.base_stream, self.induction, 16), MemLocality::Stream));
+            v.insts.push(IrInst::compute(if spec.fp_fraction > 0.3 { IrOp::FpAlu } else { IrOp::IntAlu }, z, x, y));
+            v.insts.push(IrInst::compute(IrOp::FpMul, z, z, x));
+            v.insts.push(IrInst::store(z, AddrExpr::base_index(self.base_stream, self.induction, 32), MemLocality::Stream));
+            let vc = self.func.new_vreg();
+            v.insts.push(IrInst::compute(IrOp::Cmp, vc, z, self.consts[0]));
+            Some((v, vc))
+        } else {
+            None
+        };
+
+        // --- latch ---
+        let mut latch = IrBlock::new(Terminator::Ret, HOT_WEIGHT);
+        latch.loop_depth = 1;
+        let next_ind = self.func.new_vreg();
+        latch.insts.push(IrInst::compute(IrOp::IntAlu, next_ind, self.induction, self.consts[0]));
+        let lc = self.func.new_vreg();
+        latch.insts.push(IrInst::compute(IrOp::Cmp, lc, next_ind, self.consts[1]));
+
+        // --- assemble & wire ids ---
+        self.func.add_block(preheader); // 0
+        self.func.add_block(header); // 1
+        let mut next_id = 2u32;
+        // Pattern ids.
+        let mut pattern_ids = Vec::new();
+        for p in &patterns {
+            let entry = next_id;
+            let t = next_id + 1;
+            let f = p.f.as_ref().map(|_| next_id + 2);
+            next_id += if p.f.is_some() { 3 } else { 2 };
+            pattern_ids.push((entry, t, f));
+        }
+        let vector_id = vector_block.as_ref().map(|_| {
+            let id = next_id;
+            next_id += 1;
+            id
+        });
+        let latch_id = next_id;
+        let exit_id = next_id + 1;
+
+        // Header jumps to the first pattern (or vector loop / latch).
+        let after_header = pattern_ids
+            .first()
+            .map(|&(e, _, _)| e)
+            .or(vector_id)
+            .unwrap_or(latch_id);
+        self.func.blocks[1].term = Terminator::Jump(BlockId(after_header));
+
+        for (k, mut p) in patterns.into_iter().enumerate() {
+            let (entry_id, t_id, f_id) = pattern_ids[k];
+            debug_assert_eq!(entry_id as usize, self.func.blocks.len());
+            let join = pattern_ids
+                .get(k + 1)
+                .map(|&(e, _, _)| e)
+                .or(vector_id)
+                .unwrap_or(latch_id);
+            if let Terminator::Branch { cond, behavior, .. } = p.entry.term {
+                p.entry.term = Terminator::Branch {
+                    cond,
+                    taken: BlockId(t_id),
+                    not_taken: BlockId(f_id.unwrap_or(join)),
+                    behavior,
+                };
+            }
+            p.t.term = Terminator::Jump(BlockId(join));
+            self.func.add_block(p.entry);
+            self.func.add_block(p.t);
+            if let Some(mut f) = p.f {
+                f.term = Terminator::Jump(BlockId(join));
+                self.func.add_block(f);
+            }
+        }
+
+        if let Some((mut v, vc)) = vector_block {
+            let id = vector_id.expect("id reserved");
+            debug_assert_eq!(id as usize, self.func.blocks.len());
+            v.term = Terminator::Branch {
+                cond: vc,
+                taken: BlockId(id),
+                not_taken: BlockId(latch_id),
+                behavior: BranchBehavior::loop_back(
+                    (spec.vector_fraction * 48.0).round().max(2.0) as u32,
+                ),
+            };
+            self.func.add_block(v);
+        }
+
+        latch.term = Terminator::Branch {
+            cond: lc,
+            taken: BlockId(1),
+            not_taken: BlockId(exit_id),
+            behavior: BranchBehavior::loop_back(trip),
+        };
+        self.func.add_block(latch);
+        self.func.add_block(IrBlock::new(Terminator::Ret, entries));
+
+        debug_assert_eq!(
+            self.func.validate(),
+            Ok(()),
+            "generated function must validate: {}",
+            self.func.name
+        );
+        self.func
+    }
+}
+
+fn pick<'a, T>(rng: &mut SmallRng, xs: &'a [T]) -> Option<&'a T> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(&xs[rng.gen_range(0..xs.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::all_phases;
+    use cisa_compiler::{compile, CompileOptions};
+    use cisa_isa::FeatureSet;
+
+    #[test]
+    fn every_phase_generates_valid_ir() {
+        for spec in all_phases() {
+            let f = generate(&spec);
+            assert_eq!(f.validate(), Ok(()), "{}", spec.name());
+            assert!(f.blocks.len() >= 4, "{} too small", spec.name());
+        }
+    }
+
+    #[test]
+    fn every_phase_cfg_is_reducible_with_loops() {
+        use cisa_compiler::cfg::{natural_loops, Dominators};
+        for spec in all_phases() {
+            let f = generate(&spec);
+            assert!(
+                cisa_compiler::is_reducible(&f),
+                "{} must have reducible control flow",
+                spec.name()
+            );
+            let dom = Dominators::compute(&f);
+            let loops = natural_loops(&f, &dom);
+            assert!(!loops.is_empty(), "{} must contain a hot loop", spec.name());
+            // The outer hot loop's latch branches back to the header.
+            assert!(
+                loops.iter().any(|l| l.len() >= 2),
+                "{} outer loop spans multiple blocks",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = &all_phases()[0];
+        assert_eq!(generate(spec), generate(spec));
+    }
+
+    #[test]
+    fn every_phase_compiles_under_every_feature_set() {
+        let opts = CompileOptions::default();
+        for spec in all_phases().iter().step_by(7) {
+            let ir = generate(spec);
+            for fs in FeatureSet::all() {
+                let code = compile(&ir, &fs, &opts)
+                    .unwrap_or_else(|e| panic!("{} under {fs}: {e}", spec.name()));
+                assert!(code.stats.total_uops() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn hmmer_spills_at_shallow_depths_but_not_deep() {
+        let spec = all_phases()
+            .into_iter()
+            .find(|p| p.benchmark == "hmmer")
+            .unwrap();
+        let ir = generate(&spec);
+        let opts = CompileOptions::default();
+        let d16 = compile(&ir, &"x86-16D-64W".parse().unwrap(), &opts).unwrap();
+        let d64 = compile(&ir, &"x86-64D-64W".parse().unwrap(), &opts).unwrap();
+        assert!(
+            d16.stats.regalloc.dyn_refill_loads > d64.stats.regalloc.dyn_refill_loads,
+            "hmmer at depth 16 must refill more than at depth 64"
+        );
+        assert!(d64.stats.loads() < d16.stats.loads());
+    }
+
+    #[test]
+    fn lbm_vector_loop_shrinks_under_sse() {
+        let spec = all_phases().into_iter().find(|p| p.benchmark == "lbm").unwrap();
+        let ir = generate(&spec);
+        let opts = CompileOptions::default();
+        let sse = compile(&ir, &FeatureSet::x86_64(), &opts).unwrap();
+        let scalar = compile(&ir, &"microx86-16D-32W".parse().unwrap(), &opts).unwrap();
+        let sse_vec_block = sse.blocks.iter().find(|b| b.vectorized);
+        assert!(sse_vec_block.is_some(), "lbm must have a vectorized block under SSE");
+        assert!(
+            sse.stats.fp_vec_ops() < scalar.stats.fp_vec_ops(),
+            "packed execution reduces dynamic FP op count"
+        );
+    }
+
+    #[test]
+    fn branchy_benchmarks_get_if_converted() {
+        let spec = all_phases().into_iter().find(|p| p.benchmark == "sjeng").unwrap();
+        let ir = generate(&spec);
+        let opts = CompileOptions::default();
+        let full = compile(&ir, &FeatureSet::superset(), &opts).unwrap();
+        assert!(
+            full.stats.ifconvert.total() > 0,
+            "sjeng's irregular diamonds must if-convert"
+        );
+        let partial = compile(&ir, &FeatureSet::x86_64(), &opts).unwrap();
+        assert!(full.stats.branches() < partial.stats.branches());
+    }
+
+    #[test]
+    fn mcf_is_load_heavy() {
+        let spec = all_phases().into_iter().find(|p| p.benchmark == "mcf").unwrap();
+        let code = compile(&generate(&spec), &FeatureSet::x86_64(), &CompileOptions::default()).unwrap();
+        let mem_share = code.stats.mem_refs() / code.stats.total_uops();
+        assert!(mem_share > 0.25, "mcf memory share too low: {mem_share}");
+    }
+}

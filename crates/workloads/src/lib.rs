@@ -1,0 +1,23 @@
+//! # cisa-workloads: benchmark models, IR generation, traces, SimPoint
+//!
+//! The paper evaluates on 8 SPEC CPU2006 benchmarks broken into 49
+//! SimPoint phases. SPEC is proprietary, so this crate substitutes
+//! *synthetic characteristic models*: each benchmark is a parameter
+//! block ([`benchmarks::PhaseSpec`]) reproducing the properties the
+//! paper attributes to it (hmmer's register pressure, sjeng's irregular
+//! branches, lbm's vectorizable FP streams, mcf's pointer chasing), and
+//! the [`generator`] turns each phase into seeded IR for the compiler.
+//!
+//! [`trace`] expands compiled code into dynamic micro-op streams (with
+//! memory addresses from the locality profile and branch outcomes from
+//! the behaviour annotations) for the cycle-level simulator, and
+//! [`simpoint`] implements the BBV + k-means phase analysis methodology.
+
+pub mod benchmarks;
+pub mod generator;
+pub mod simpoint;
+pub mod trace;
+
+pub use benchmarks::{all_benchmarks, all_phases, benchmark, Benchmark, BranchStyle, PhaseSpec};
+pub use generator::generate;
+pub use trace::{DynUop, TraceGenerator, TraceParams};

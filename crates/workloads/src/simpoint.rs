@@ -1,0 +1,283 @@
+//! SimPoint-style phase analysis: basic-block vectors + k-means.
+//!
+//! The paper breaks its benchmarks into 49 phases with the SimPoint
+//! methodology (Sherwood et al.). This module implements that pipeline
+//! generically: slice an execution's basic-block id stream into fixed
+//! intervals, build frequency vectors (BBVs), cluster them with k-means
+//! (random restarts, deterministic seeding), and pick the interval
+//! closest to each centroid as the representative simulation point.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A basic-block vector: per-block execution frequency over one
+/// interval, L1-normalized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bbv {
+    /// Normalized frequencies, indexed by block id.
+    pub freqs: Vec<f64>,
+    /// First position of the interval in the source stream.
+    pub start: usize,
+}
+
+/// Builds BBVs from a stream of block ids.
+///
+/// `interval` is the number of block executions per BBV; the trailing
+/// partial interval is dropped (as SimPoint does).
+pub fn build_bbvs(stream: &[u32], n_blocks: usize, interval: usize) -> Vec<Bbv> {
+    assert!(interval > 0, "interval must be positive");
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + interval <= stream.len() {
+        let mut freqs = vec![0.0f64; n_blocks];
+        for &b in &stream[i..i + interval] {
+            if (b as usize) < n_blocks {
+                freqs[b as usize] += 1.0;
+            }
+        }
+        let total: f64 = freqs.iter().sum();
+        if total > 0.0 {
+            for f in &mut freqs {
+                *f /= total;
+            }
+        }
+        out.push(Bbv { freqs, start: i });
+        i += interval;
+    }
+    out
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Result of a phase clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phases {
+    /// Cluster assignment per BBV.
+    pub assignment: Vec<usize>,
+    /// Representative BBV index per cluster (the simulation point).
+    pub representatives: Vec<usize>,
+    /// Fraction of intervals in each cluster (the phase weights).
+    pub weights: Vec<f64>,
+}
+
+/// Clusters BBVs into `k` phases with k-means (fixed iteration budget,
+/// deterministic seeding, empty clusters re-seeded from the farthest
+/// point).
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the number of BBVs.
+pub fn cluster(bbvs: &[Bbv], k: usize, seed: u64) -> Phases {
+    assert!(k >= 1 && k <= bbvs.len(), "bad k={k} for {} bbvs", bbvs.len());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let dim = bbvs[0].freqs.len();
+
+    // k-means++ style initial centroids.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(bbvs[rng.gen_range(0..bbvs.len())].freqs.clone());
+    while centroids.len() < k {
+        let dists: Vec<f64> = bbvs
+            .iter()
+            .map(|b| {
+                centroids
+                    .iter()
+                    .map(|c| dist2(&b.freqs, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = dists.iter().sum();
+        let mut pickv = rng.gen::<f64>() * total.max(1e-12);
+        let mut chosen = 0;
+        for (i, d) in dists.iter().enumerate() {
+            pickv -= d;
+            if pickv <= 0.0 {
+                chosen = i;
+                break;
+            }
+            chosen = i;
+        }
+        centroids.push(bbvs[chosen].freqs.clone());
+    }
+
+    let mut assignment = vec![0usize; bbvs.len()];
+    for _ in 0..40 {
+        // Assign.
+        let mut changed = false;
+        for (i, b) in bbvs.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&x, &y| {
+                    dist2(&b.freqs, &centroids[x])
+                        .partial_cmp(&dist2(&b.freqs, &centroids[y]))
+                        .unwrap()
+                })
+                .unwrap();
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, b) in bbvs.iter().enumerate() {
+            let c = assignment[i];
+            counts[c] += 1;
+            for (s, f) in sums[c].iter_mut().zip(&b.freqs) {
+                *s += f;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster from the farthest point.
+                let far = (0..bbvs.len())
+                    .max_by(|&x, &y| {
+                        dist2(&bbvs[x].freqs, &centroids[assignment[x]])
+                            .partial_cmp(&dist2(&bbvs[y].freqs, &centroids[assignment[y]]))
+                            .unwrap()
+                    })
+                    .unwrap();
+                centroids[c] = bbvs[far].freqs.clone();
+            } else {
+                for s in &mut sums[c] {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = sums[c].clone();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Final assignment pass, forcing every cluster non-empty so each
+    // has a representative.
+    for (i, b) in bbvs.iter().enumerate() {
+        assignment[i] = (0..k)
+            .min_by(|&x, &y| {
+                dist2(&b.freqs, &centroids[x])
+                    .partial_cmp(&dist2(&b.freqs, &centroids[y]))
+                    .unwrap()
+            })
+            .unwrap();
+    }
+    for c in 0..k {
+        if !assignment.contains(&c) {
+            let closest = (0..bbvs.len())
+                .min_by(|&x, &y| {
+                    dist2(&bbvs[x].freqs, &centroids[c])
+                        .partial_cmp(&dist2(&bbvs[y].freqs, &centroids[c]))
+                        .unwrap()
+                })
+                .unwrap();
+            assignment[closest] = c;
+        }
+    }
+
+    // Representatives: the BBV closest to each centroid.
+    let mut representatives = Vec::with_capacity(k);
+    let mut weights = Vec::with_capacity(k);
+    for c in 0..k {
+        let members: Vec<usize> = (0..bbvs.len()).filter(|&i| assignment[i] == c).collect();
+        let rep = members
+            .iter()
+            .copied()
+            .min_by(|&x, &y| {
+                dist2(&bbvs[x].freqs, &centroids[c])
+                    .partial_cmp(&dist2(&bbvs[y].freqs, &centroids[c]))
+                    .unwrap()
+            })
+            .unwrap_or(0);
+        representatives.push(rep);
+        weights.push(members.len() as f64 / bbvs.len() as f64);
+    }
+
+    Phases {
+        assignment,
+        representatives,
+        weights,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A stream alternating between two obvious phases.
+    fn two_phase_stream() -> Vec<u32> {
+        let mut s = Vec::new();
+        for rep in 0..6 {
+            for _ in 0..500 {
+                if rep % 2 == 0 {
+                    s.extend_from_slice(&[0, 1, 0, 1]);
+                } else {
+                    s.extend_from_slice(&[2, 3, 2, 3]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn bbvs_are_normalized() {
+        let s = two_phase_stream();
+        let bbvs = build_bbvs(&s, 4, 1000);
+        assert!(!bbvs.is_empty());
+        for b in &bbvs {
+            let sum: f64 = b.freqs.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn kmeans_recovers_two_phases() {
+        let s = two_phase_stream();
+        let bbvs = build_bbvs(&s, 4, 1000);
+        let phases = cluster(&bbvs, 2, 42);
+        // Every interval dominated by blocks {0,1} must share a cluster,
+        // and {2,3} the other.
+        let label_of = |i: usize| phases.assignment[i];
+        let first_kind: Vec<usize> = bbvs
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.freqs[0] > 0.4)
+            .map(|(i, _)| label_of(i))
+            .collect();
+        assert!(!first_kind.is_empty());
+        assert!(first_kind.windows(2).all(|w| w[0] == w[1]));
+        let w_sum: f64 = phases.weights.iter().sum();
+        assert!((w_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn representatives_are_members() {
+        let s = two_phase_stream();
+        let bbvs = build_bbvs(&s, 4, 500);
+        let phases = cluster(&bbvs, 3, 7);
+        for (c, &rep) in phases.representatives.iter().enumerate() {
+            assert_eq!(phases.assignment[rep], c, "representative must belong to its cluster");
+        }
+    }
+
+    #[test]
+    fn clustering_is_deterministic() {
+        let s = two_phase_stream();
+        let bbvs = build_bbvs(&s, 4, 500);
+        assert_eq!(cluster(&bbvs, 2, 9), cluster(&bbvs, 2, 9));
+    }
+
+    #[test]
+    fn partial_trailing_interval_dropped() {
+        let s = vec![0u32; 2500];
+        let bbvs = build_bbvs(&s, 1, 1000);
+        assert_eq!(bbvs.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad k")]
+    fn k_larger_than_data_panics() {
+        let bbvs = build_bbvs(&[0, 0, 0, 0], 1, 2);
+        let _ = cluster(&bbvs, 5, 1);
+    }
+}
