@@ -1,9 +1,9 @@
-//! Criterion micro-benchmarks for the hot components: the encoder and
-//! length decoder, branch predictors, the cycle simulator, the
-//! compiler pipeline, and the interval model.
+//! Micro-benchmarks for the hot components: the encoder and length
+//! decoder, branch predictors, the cycle simulator, the compiler
+//! pipeline, and the interval model. Uses the in-tree timing harness
+//! (`cisa_bench::timing`) so the workspace builds offline.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
+use cisa_bench::timing::bench;
 use cisa_compiler::{compile, CompileOptions};
 use cisa_explore::{evaluate, probe};
 use cisa_isa::inst::{MacroOpcode, Operand};
@@ -11,7 +11,7 @@ use cisa_isa::{ArchReg, Encoder, FeatureSet, InstLengthDecoder, MachineInst};
 use cisa_sim::{simulate, CoreConfig, PredictorKind};
 use cisa_workloads::{all_phases, generate, TraceGenerator, TraceParams};
 
-fn bench_encoder(c: &mut Criterion) {
+fn bench_encoder() {
     let enc = Encoder::new(FeatureSet::superset());
     let insts: Vec<MachineInst> = (0..64u8)
         .map(|i| {
@@ -23,102 +23,108 @@ fn bench_encoder(c: &mut Criterion) {
             )
         })
         .collect();
-    let mut g = c.benchmark_group("encoder");
-    g.throughput(Throughput::Elements(insts.len() as u64));
-    g.bench_function("encode_64_insts", |b| {
-        b.iter(|| {
-            for i in &insts {
-                std::hint::black_box(enc.encode(i).unwrap());
-            }
-        })
+    bench("encoder/encode_64_insts", || {
+        for i in &insts {
+            std::hint::black_box(enc.encode(i).unwrap());
+        }
     });
     let stream: Vec<u8> = insts
         .iter()
         .flat_map(|i| enc.encode(i).unwrap().bytes)
         .collect();
     let ild = InstLengthDecoder::new();
-    g.bench_function("ild_decode_stream", |b| {
-        b.iter(|| std::hint::black_box(ild.decode_stream(&stream).unwrap()))
+    bench("encoder/ild_decode_stream", || {
+        std::hint::black_box(ild.decode_stream(&stream).unwrap());
     });
-    g.finish();
 }
 
-fn bench_predictors(c: &mut Criterion) {
-    let outcomes: Vec<(u64, bool)> = (0..4096u64).map(|i| (0x400000 + i % 37 * 8, i % 3 != 0)).collect();
-    let mut g = c.benchmark_group("predictors");
-    g.throughput(Throughput::Elements(outcomes.len() as u64));
+fn bench_predictors() {
+    let outcomes: Vec<(u64, bool)> = (0..4096u64)
+        .map(|i| (0x400000 + i % 37 * 8, i % 3 != 0))
+        .collect();
     for kind in PredictorKind::ALL {
-        g.bench_function(format!("{kind:?}"), |b| {
-            let mut p = kind.build();
-            b.iter(|| {
-                let mut correct = 0u32;
-                for &(pc, taken) in &outcomes {
-                    if p.predict(pc) == taken {
-                        correct += 1;
-                    }
-                    p.update(pc, taken);
+        let mut p = kind.build();
+        bench(&format!("predictors/{kind:?}"), || {
+            let mut correct = 0u32;
+            for &(pc, taken) in &outcomes {
+                if p.predict(pc) == taken {
+                    correct += 1;
                 }
-                std::hint::black_box(correct)
-            })
+                p.update(pc, taken);
+            }
+            std::hint::black_box(correct);
         });
     }
-    g.finish();
 }
 
-fn bench_compile(c: &mut Criterion) {
-    let spec = all_phases().into_iter().find(|p| p.benchmark == "bzip2").unwrap();
+fn bench_compile() {
+    let spec = all_phases()
+        .into_iter()
+        .find(|p| p.benchmark == "bzip2")
+        .unwrap();
     let ir = generate(&spec);
-    let mut g = c.benchmark_group("compiler");
-    g.bench_function("compile_x86_64", |b| {
-        b.iter(|| compile(&ir, &FeatureSet::x86_64(), &CompileOptions::default()).unwrap())
+    bench("compiler/compile_x86_64", || {
+        std::hint::black_box(
+            compile(&ir, &FeatureSet::x86_64(), &CompileOptions::default()).unwrap(),
+        );
     });
-    g.bench_function("compile_superset", |b| {
-        b.iter(|| compile(&ir, &FeatureSet::superset(), &CompileOptions::default()).unwrap())
+    bench("compiler/compile_superset", || {
+        std::hint::black_box(
+            compile(&ir, &FeatureSet::superset(), &CompileOptions::default()).unwrap(),
+        );
     });
-    g.finish();
 }
 
-fn bench_simulator(c: &mut Criterion) {
-    let spec = all_phases().into_iter().find(|p| p.benchmark == "bzip2").unwrap();
+fn bench_simulator() {
+    let spec = all_phases()
+        .into_iter()
+        .find(|p| p.benchmark == "bzip2")
+        .unwrap();
     let fs = FeatureSet::x86_64();
     let code = compile(&generate(&spec), &fs, &CompileOptions::default()).unwrap();
-    let mut g = c.benchmark_group("simulator");
-    g.throughput(Throughput::Elements(20_000));
-    g.bench_function("ooo_20k_uops", |b| {
-        b.iter(|| {
-            let trace = TraceGenerator::new(&code, &spec, TraceParams { max_uops: 20_000, seed: 3 });
-            std::hint::black_box(simulate(&CoreConfig::reference(fs), trace))
-        })
+    bench("simulator/ooo_20k_uops", || {
+        let trace = TraceGenerator::new(
+            &code,
+            &spec,
+            TraceParams {
+                max_uops: 20_000,
+                seed: 3,
+            },
+        );
+        std::hint::black_box(simulate(&CoreConfig::reference(fs), trace));
     });
-    g.bench_function("inorder_20k_uops", |b| {
-        b.iter(|| {
-            let trace = TraceGenerator::new(&code, &spec, TraceParams { max_uops: 20_000, seed: 3 });
-            std::hint::black_box(simulate(&CoreConfig::little(fs), trace))
-        })
+    bench("simulator/inorder_20k_uops", || {
+        let trace = TraceGenerator::new(
+            &code,
+            &spec,
+            TraceParams {
+                max_uops: 20_000,
+                seed: 3,
+            },
+        );
+        std::hint::black_box(simulate(&CoreConfig::little(fs), trace));
     });
-    g.finish();
 }
 
-fn bench_interval_model(c: &mut Criterion) {
-    let spec = all_phases().into_iter().find(|p| p.benchmark == "bzip2").unwrap();
+fn bench_interval_model() {
+    let spec = all_phases()
+        .into_iter()
+        .find(|p| p.benchmark == "bzip2")
+        .unwrap();
     let fs = FeatureSet::x86_64();
     let prof = probe(&spec, fs);
     let uas = cisa_explore::all_microarchs();
-    let mut g = c.benchmark_group("interval");
-    g.throughput(Throughput::Elements(uas.len() as u64));
-    g.bench_function("evaluate_180_microarchs", |b| {
-        b.iter(|| {
-            for ua in &uas {
-                std::hint::black_box(evaluate(&prof, ua, &ua.with_fs(fs)));
-            }
-        })
+    bench("interval/evaluate_180_microarchs", || {
+        for ua in &uas {
+            std::hint::black_box(evaluate(&prof, ua, &ua.with_fs(fs)));
+        }
     });
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_encoder, bench_predictors, bench_compile, bench_simulator, bench_interval_model
+fn main() {
+    bench_encoder();
+    bench_predictors();
+    bench_compile();
+    bench_simulator();
+    bench_interval_model();
 }
-criterion_main!(benches);

@@ -1,8 +1,7 @@
 //! Two-fidelity ablation bench: the interval model vs the cycle
 //! simulator — timing, plus a rank-correlation check printed once.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use cisa_bench::timing::bench;
 use cisa_compiler::{compile, CompileOptions};
 use cisa_explore::{all_microarchs, evaluate, probe};
 use cisa_isa::FeatureSet;
@@ -25,8 +24,11 @@ fn spearman(a: &[f64], b: &[f64]) -> f64 {
     1.0 - 6.0 * d2 / (n * (n * n - 1.0))
 }
 
-fn bench_fidelity(c: &mut Criterion) {
-    let spec = all_phases().into_iter().find(|p| p.benchmark == "sjeng").unwrap();
+fn main() {
+    let spec = all_phases()
+        .into_iter()
+        .find(|p| p.benchmark == "sjeng")
+        .unwrap();
     let fs = FeatureSet::x86_64();
     let code = compile(&generate(&spec), &fs, &CompileOptions::default()).unwrap();
     let prof = probe(&spec, fs);
@@ -37,29 +39,40 @@ fn bench_fidelity(c: &mut Criterion) {
     for ua in &uas {
         let cfg = ua.with_fs(fs);
         analytic.push(evaluate(&prof, ua, &cfg).cycles_per_unit);
-        let trace = TraceGenerator::new(&code, &spec, TraceParams { max_uops: 12_000, seed: 4 });
+        let trace = TraceGenerator::new(
+            &code,
+            &spec,
+            TraceParams {
+                max_uops: 12_000,
+                seed: 4,
+            },
+        );
         cycle.push(simulate(&cfg, trace).cycles as f64);
     }
     let rho = spearman(&analytic, &cycle);
-    println!("\n[fidelity] Spearman rank correlation (interval vs cycle, {} designs): {rho:.3}", uas.len());
-    assert!(rho > 0.7, "interval model must rank designs like the cycle simulator");
+    println!(
+        "\n[fidelity] Spearman rank correlation (interval vs cycle, {} designs): {rho:.3}",
+        uas.len()
+    );
+    assert!(
+        rho > 0.7,
+        "interval model must rank designs like the cycle simulator"
+    );
 
     let ua = uas[0];
     let cfg = ua.with_fs(fs);
-    c.bench_function("fidelity/interval_eval", |b| {
-        b.iter(|| std::hint::black_box(evaluate(&prof, &ua, &cfg)))
+    bench("fidelity/interval_eval", || {
+        std::hint::black_box(evaluate(&prof, &ua, &cfg));
     });
-    c.bench_function("fidelity/cycle_sim_12k", |b| {
-        b.iter(|| {
-            let trace = TraceGenerator::new(&code, &spec, TraceParams { max_uops: 12_000, seed: 4 });
-            std::hint::black_box(simulate(&cfg, trace))
-        })
+    bench("fidelity/cycle_sim_12k", || {
+        let trace = TraceGenerator::new(
+            &code,
+            &spec,
+            TraceParams {
+                max_uops: 12_000,
+                seed: 4,
+            },
+        );
+        std::hint::black_box(simulate(&cfg, trace));
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_fidelity
-}
-criterion_main!(benches);

@@ -11,17 +11,34 @@ fn main() {
     let fs = FeatureSet::x86_64();
     let cfg = CoreConfig::reference(fs);
     println!("Ablation: L1D stream prefetcher (reference OoO core, 30k uops)");
-    println!("{:<12} {:>10} {:>12} {:>10}", "benchmark", "IPC off", "IPC on", "speedup");
+    println!(
+        "{:<12} {:>10} {:>12} {:>10}",
+        "benchmark", "IPC off", "IPC on", "speedup"
+    );
     for spec in all_phases().iter().filter(|p| p.index == 0) {
         let code = compile(&generate(spec), &fs, &CompileOptions::default()).unwrap();
         let run = |pf| {
-            let trace = TraceGenerator::new(&code, spec, TraceParams { max_uops: 30_000, seed: 7 });
+            let trace = TraceGenerator::new(
+                &code,
+                spec,
+                TraceParams {
+                    max_uops: 30_000,
+                    seed: 7,
+                },
+            );
             simulate_with_prefetcher(&cfg, trace, pf)
         };
         let off = run(false);
         let on = run(true);
-        println!("{:<12} {:>10.3} {:>12.3} {:>9.1}%",
-            spec.benchmark, off.ipc(), on.ipc(), (on.ipc() / off.ipc() - 1.0) * 100.0);
+        println!(
+            "{:<12} {:>10.3} {:>12.3} {:>9.1}%",
+            spec.benchmark,
+            off.ipc(),
+            on.ipc(),
+            (on.ipc() / off.ipc() - 1.0) * 100.0
+        );
     }
-    println!("\nstreaming benchmarks (lbm, libquantum) gain most; pointer chasing (mcf) gains least");
+    println!(
+        "\nstreaming benchmarks (lbm, libquantum) gain most; pointer chasing (mcf) gains least"
+    );
 }

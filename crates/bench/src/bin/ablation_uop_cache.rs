@@ -9,10 +9,26 @@ use cisa_workloads::{all_phases, generate, TraceGenerator, TraceParams};
 
 fn main() {
     println!("Ablation: micro-op cache on/off (decode activity per 20k uops)");
-    println!("{:<12} {:>12} {:>12} {:>12} {:>14}", "benchmark", "uopc hits", "decodes", "ild bytes", "uopc hitrate");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>14}",
+        "benchmark", "uopc hits", "decodes", "ild bytes", "uopc hitrate"
+    );
     for spec in all_phases().iter().filter(|p| p.index == 0) {
-        let code = compile(&generate(spec), &FeatureSet::x86_64(), &CompileOptions::default()).unwrap();
-        let trace: Vec<_> = TraceGenerator::new(&code, spec, TraceParams { max_uops: 20_000, seed: 5 }).collect();
+        let code = compile(
+            &generate(spec),
+            &FeatureSet::x86_64(),
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        let trace: Vec<_> = TraceGenerator::new(
+            &code,
+            spec,
+            TraceParams {
+                max_uops: 20_000,
+                seed: 5,
+            },
+        )
+        .collect();
         for (label, windows) in [("on", 256u32), ("off", 0)] {
             let mut fe = DecodeFrontend::new(DecoderConfig {
                 uop_cache_windows: windows,
@@ -28,9 +44,14 @@ fn main() {
                 });
             }
             let s = fe.stats();
-            println!("{:<12} {:>12} {:>12} {:>12} {:>13.1}%  (uop cache {label})",
-                spec.benchmark, s.uop_cache_hits, s.simple_decodes + s.complex_decodes + s.msrom_sequences,
-                s.ild_bytes, s.uop_cache_hit_rate() * 100.0);
+            println!(
+                "{:<12} {:>12} {:>12} {:>12} {:>13.1}%  (uop cache {label})",
+                spec.benchmark,
+                s.uop_cache_hits,
+                s.simple_decodes + s.complex_decodes + s.msrom_sequences,
+                s.ild_bytes,
+                s.uop_cache_hit_rate() * 100.0
+            );
         }
     }
 }

@@ -12,27 +12,68 @@ fn main() {
     let budget = Budget::PeakPower(40.0);
 
     println!("Ablation: search strategy (multiprogrammed throughput, 40W)");
-    for (name, cfg) in [
-        ("greedy only (no restarts)", SearchConfig { restarts: 0, max_passes: 1, pool_cap: 120, identical: false }),
-        ("local search, 1 pass", SearchConfig { restarts: 0, max_passes: 12, pool_cap: 120, identical: false }),
-        ("multi-seed local search", SearchConfig { restarts: 2, max_passes: 12, pool_cap: 120, identical: false }),
-        ("wider pool", SearchConfig { restarts: 2, max_passes: 12, pool_cap: 240, identical: false }),
-    ] {
-        let score = search(&eval, &all, Objective::Throughput, budget, &cfg)
+    let variants = [
+        (
+            "greedy only (no restarts)",
+            SearchConfig {
+                restarts: 0,
+                max_passes: 1,
+                pool_cap: 120,
+                identical: false,
+            },
+        ),
+        (
+            "local search, 1 pass",
+            SearchConfig {
+                restarts: 0,
+                max_passes: 12,
+                pool_cap: 120,
+                identical: false,
+            },
+        ),
+        (
+            "multi-seed local search",
+            SearchConfig {
+                restarts: 2,
+                max_passes: 12,
+                pool_cap: 120,
+                identical: false,
+            },
+        ),
+        (
+            "wider pool",
+            SearchConfig {
+                restarts: 2,
+                max_passes: 12,
+                pool_cap: 240,
+                identical: false,
+            },
+        ),
+    ];
+    let scores = h.runner.map(&variants, |(_, cfg)| {
+        search(&eval, &all, Objective::Throughput, budget, cfg)
             .map(|r| r.score)
-            .unwrap_or(f64::NAN);
+            .unwrap_or(f64::NAN)
+    });
+    for ((name, _), score) in variants.iter().zip(scores) {
         println!("  {name:<28} score {score:.4}");
     }
 
     println!("\nAblation: scheduler (optimal 4x4 assignment is built into the objective;");
     println!("  a random assignment bound is the mean over cores instead of the best):");
-    if let Some(r) = search(&eval, &all, Objective::Throughput, budget, &SearchConfig::default()) {
+    if let Some(r) = search(
+        &eval,
+        &all,
+        Objective::Throughput,
+        budget,
+        &SearchConfig::default(),
+    ) {
         let optimal = eval.throughput(&r.cores);
         // Naive bound: average speed over cores rather than best
         // assignment.
         let mut naive = 0.0;
         let mut n = 0;
-        for (_b, phases) in eval.bench_phases.iter().enumerate() {
+        for phases in eval.bench_phases.iter() {
             for &p in phases {
                 let mean: f64 = r
                     .cores
@@ -45,7 +86,9 @@ fn main() {
             }
         }
         naive /= n as f64;
-        println!("  optimal assignment {optimal:.4} vs random-assignment bound {naive:.4} (+{:.1}%)",
-            (optimal / naive - 1.0) * 100.0);
+        println!(
+            "  optimal assignment {optimal:.4} vs random-assignment bound {naive:.4} (+{:.1}%)",
+            (optimal / naive - 1.0) * 100.0
+        );
     }
 }

@@ -16,23 +16,37 @@ fn main() {
     let fs = FeatureSet::x86_64();
     println!("Extension: RISC-V host (paper Section II discussion)");
     println!("\ncode density per benchmark (bytes vs the x86 host, same feature set):");
-    println!("{:<12} {:>10} {:>10} {:>9} {:>12} {:>12}",
-        "benchmark", "rv64g", "rv64gc", "x86", "gc/x86", "compressed");
+    println!(
+        "{:<12} {:>10} {:>10} {:>9} {:>12} {:>12}",
+        "benchmark", "rv64g", "rv64gc", "x86", "gc/x86", "compressed"
+    );
     for b in all_benchmarks() {
         let code = compile(&generate(&b.phases[0]), &fs, &CompileOptions::default()).unwrap();
-        let insts: Vec<_> = code.blocks.iter().flat_map(|blk| blk.insts.iter().copied()).collect();
+        let insts: Vec<_> = code
+            .blocks
+            .iter()
+            .flat_map(|blk| blk.insts.iter().copied())
+            .collect();
         let plain = rehost(&RiscvHost::fixed_only(), &insts, &fs);
         let gc = rehost(&RiscvHost::with_compression(), &insts, &fs);
-        println!("{:<12} {:>10} {:>10} {:>9} {:>11.2}x {:>11.0}%",
-            b.name, plain.riscv_bytes, gc.riscv_bytes, gc.x86_bytes,
-            gc.density_ratio(), gc.compressed_fraction * 100.0);
+        println!(
+            "{:<12} {:>10} {:>10} {:>9} {:>11.2}x {:>11.0}%",
+            b.name,
+            plain.riscv_bytes,
+            gc.riscv_bytes,
+            gc.x86_bytes,
+            gc.density_ratio(),
+            gc.compressed_fraction * 100.0
+        );
     }
     println!("\ndecode-side effects:");
     let base_ild = rtl::ild(&fs);
-    println!("  x86 host ILD area: {:.0} units; RV64G host: {:.0}; RV64GC host: {:.0}",
+    println!(
+        "  x86 host ILD area: {:.0} units; RV64G host: {:.0}; RV64GC host: {:.0}",
         base_ild.area,
         base_ild.area * RiscvHost::fixed_only().ild_cost_fraction(),
-        base_ild.area * RiscvHost::with_compression().ild_cost_fraction());
+        base_ild.area * RiscvHost::with_compression().ild_cost_fraction()
+    );
     println!("\npaper's expectation: depth/width/predication benefits retained; the");
     println!("complexity axis folds away (load-store base), and code density shifts");
     println!("(fixed-length is larger unless the compressed subset applies).");

@@ -15,7 +15,10 @@ fn breakdown(h: &Harness, cores: &[CoreChoice; 4]) -> [f64; 7] {
             CoreChoice::Vendor(v, ua) => h.space.microarchs[*ua as usize].with_fs(v.x86ized()),
         };
         let b = core_budget(&cfg).breakdown;
-        for (i, s) in [b.fetch, b.decode, b.bpred, b.scheduler, b.regfile, b.fu].iter().enumerate() {
+        for (i, s) in [b.fetch, b.decode, b.bpred, b.scheduler, b.regfile, b.fu]
+            .iter()
+            .enumerate()
+        {
             out[i] += s.area;
             out[6] += s.area;
         }
@@ -29,24 +32,29 @@ fn main() {
     let cfg = h.search_config();
     let budget = Budget::Area(48.0);
     println!("Figure 10: combined core-area breakdown (mm2, no caches) of constrained-optimal designs at 48mm2");
-    println!("{:<22} {:>7} {:>7} {:>7} {:>7} {:>8} {:>7} {:>8}",
-        "constraint", "fetch", "decode", "bpred", "sched", "regfile", "fu", "total");
+    println!(
+        "{:<22} {:>7} {:>7} {:>7} {:>7} {:>8} {:>7} {:>8}",
+        "constraint", "fetch", "decode", "bpred", "sched", "regfile", "fu", "total"
+    );
     let mut rows: Vec<(String, Vec<CoreChoice>)> = Vec::new();
     let all = candidates(&h.space, SystemKind::CompositeFull);
     if let Some(r) = search(&eval, &all, Objective::Throughput, budget, &cfg) {
         rows.push(("unconstrained".into(), r.cores.to_vec()));
     }
-    for (name, constraint) in sensitivity_constraints() {
-        let cands = constrained_candidates(&h.space, &constraint);
-        if let Some(r) = search(&eval, &cands, Objective::Throughput, budget, &cfg) {
-            rows.push((name, r.cores.to_vec()));
-        }
-    }
+    let constraints = sensitivity_constraints();
+    let found = h.runner.map(&constraints, |(name, constraint)| {
+        let cands = constrained_candidates(&h.space, constraint);
+        search(&eval, &cands, Objective::Throughput, budget, &cfg)
+            .map(|r| (name.clone(), r.cores.to_vec()))
+    });
+    rows.extend(found.into_iter().flatten());
     for (name, cores) in rows {
         let cores: [CoreChoice; 4] = [cores[0], cores[1], cores[2], cores[3]];
         let b = breakdown(&h, &cores);
-        println!("{:<22} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>8.2} {:>7.2} {:>8.2}",
-            name, b[0], b[1], b[2], b[3], b[4], b[5], b[6]);
+        println!(
+            "{:<22} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>8.2} {:>7.2} {:>8.2}",
+            name, b[0], b[1], b[2], b[3], b[4], b[5], b[6]
+        );
     }
     println!("\npaper: the all-microx86 design takes the least combined core area; excluding microx86 takes the most");
 }

@@ -7,10 +7,10 @@
 //! because the decode pipeline only fires on a micro-op cache miss.
 
 use cisa_bench::Harness;
+use cisa_explore::interval::evaluate;
 use cisa_explore::multicore::{search, Budget, CoreChoice, Objective};
 use cisa_explore::profile::probe;
 use cisa_explore::{candidates, constrained_candidates, sensitivity_constraints, SystemKind};
-use cisa_explore::interval::evaluate;
 use cisa_power::energy;
 use cisa_sim::{Activity, SimResult};
 use cisa_workloads::all_phases;
@@ -21,10 +21,7 @@ fn energy_breakdown(h: &Harness, cores: &[CoreChoice; 4]) -> [f64; 8] {
     let phases = all_phases();
     for c in cores {
         let (cfg, ua) = match c {
-            CoreChoice::Composite(id) => (
-                h.space.config(*id),
-                h.space.microarchs[id.ua as usize],
-            ),
+            CoreChoice::Composite(id) => (h.space.config(*id), h.space.microarchs[id.ua as usize]),
             CoreChoice::Vendor(v, ua) => (
                 h.space.microarchs[*ua as usize].with_fs(v.x86ized()),
                 h.space.microarchs[*ua as usize],
@@ -67,9 +64,18 @@ fn energy_breakdown(h: &Harness, cores: &[CoreChoice; 4]) -> [f64; 8] {
                 activity: act,
             };
             let e = energy(&cfg, &res);
-            for (i, j) in [e.fetch_j, e.decode_j, e.bpred_j, e.scheduler_j, e.regfile_j, e.fu_j, e.mem_j, e.static_j]
-                .iter()
-                .enumerate()
+            for (i, j) in [
+                e.fetch_j,
+                e.decode_j,
+                e.bpred_j,
+                e.scheduler_j,
+                e.regfile_j,
+                e.fu_j,
+                e.mem_j,
+                e.static_j,
+            ]
+            .iter()
+            .enumerate()
             {
                 out[i] += j;
             }
@@ -84,27 +90,41 @@ fn main() {
     let cfg = h.search_config();
     let budget = Budget::Area(48.0);
     println!("Figure 11: processor energy breakdown (J per workload slice) at 48mm2");
-    println!("{:<22} {:>9} {:>9} {:>8} {:>9} {:>9} {:>8} {:>9} {:>9}",
-        "constraint", "fetch", "decode", "bpred", "sched", "regfile", "fu", "mem", "static");
+    println!(
+        "{:<22} {:>9} {:>9} {:>8} {:>9} {:>9} {:>8} {:>9} {:>9}",
+        "constraint", "fetch", "decode", "bpred", "sched", "regfile", "fu", "mem", "static"
+    );
     let mut rows: Vec<(String, [CoreChoice; 4])> = Vec::new();
     let all = candidates(&h.space, SystemKind::CompositeFull);
     if let Some(r) = search(&eval, &all, Objective::Throughput, budget, &cfg) {
         rows.push(("unconstrained".into(), r.cores));
     }
-    for (name, constraint) in sensitivity_constraints() {
-        let cands = constrained_candidates(&h.space, &constraint);
-        if let Some(r) = search(&eval, &cands, Objective::Throughput, budget, &cfg) {
-            rows.push((name, r.cores));
-        }
-    }
+    let constraints = sensitivity_constraints();
+    let found = h.runner.map(&constraints, |(name, constraint)| {
+        let cands = constrained_candidates(&h.space, constraint);
+        search(&eval, &cands, Objective::Throughput, budget, &cfg).map(|r| (name.clone(), r.cores))
+    });
+    rows.extend(found.into_iter().flatten());
     for (name, cores) in rows {
         let b = energy_breakdown(&h, &cores);
         let f = |x: f64| format!("{:.2e}", x);
-        println!("{:<22} {:>9} {:>9} {:>8} {:>9} {:>9} {:>8} {:>9} {:>9}",
-            name, f(b[0]), f(b[1]), f(b[2]), f(b[3]), f(b[4]), f(b[5]), f(b[6]), f(b[7]));
+        println!(
+            "{:<22} {:>9} {:>9} {:>8} {:>9} {:>9} {:>8} {:>9} {:>9}",
+            name,
+            f(b[0]),
+            f(b[1]),
+            f(b[2]),
+            f(b[3]),
+            f(b[4]),
+            f(b[5]),
+            f(b[6]),
+            f(b[7])
+        );
         if b[0] <= b[1] {
             println!("  note: decode outspent fetch here (paper expects fetch > decode)");
         }
     }
-    println!("\npaper: fetch expends more energy than decode (decode fires only on uop-cache misses)");
+    println!(
+        "\npaper: fetch expends more energy than decode (decode fires only on uop-cache misses)"
+    );
 }

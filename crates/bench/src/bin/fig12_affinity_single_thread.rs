@@ -11,8 +11,14 @@ fn main() {
     let eval = h.evaluator();
     let cfg = h.search_config();
     let all = candidates(&h.space, SystemKind::CompositeFull);
-    let r = search(&eval, &all, Objective::SingleThread, Budget::PeakPower(10.0), &cfg)
-        .expect("feasible at 10W");
+    let r = search(
+        &eval,
+        &all,
+        Objective::SingleThread,
+        Budget::PeakPower(10.0),
+        &cfg,
+    )
+    .expect("feasible at 10W");
     println!("Figure 12: best single-thread composite design at 10W:");
     for c in &r.cores {
         println!("  {}", c.describe(&h.space));
@@ -46,7 +52,10 @@ fn main() {
             .map(|(fs, t)| (fs, 100.0 * t / total))
             .collect();
         shares.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-        let s: Vec<String> = shares.iter().map(|(fs, pc)| format!("{fs} {pc:.0}%")).collect();
+        let s: Vec<String> = shares
+            .iter()
+            .map(|(fs, pc)| format!("{fs} {pc:.0}%"))
+            .collect();
         println!("  {:<12} {}", bench, s.join(", "));
     }
     println!("\npaper: every superset feature appears in some core; hmmer pins depth-64; sjeng/gobmk prefer full predication");

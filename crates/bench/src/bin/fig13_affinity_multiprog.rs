@@ -34,7 +34,9 @@ fn main() {
                 let sum: f64 = phases
                     .iter()
                     .enumerate()
-                    .map(|(t, &p)| eval.ref_time[p] / eval.perf(p, &r.cores[perm[t]]).cycles_per_unit)
+                    .map(|(t, &p)| {
+                        eval.ref_time[p] / eval.perf(p, &r.cores[perm[t]]).cycles_per_unit
+                    })
                     .sum();
                 if sum > best_sum {
                     best_sum = sum;
@@ -69,4 +71,3 @@ fn main() {
     }
     println!("\npaper: under contention applications execute on all feature sets at some point");
 }
-

@@ -11,16 +11,35 @@ fn main() {
     let eval = h.evaluator();
     let cfg = h.search_config();
     println!("Figure 15: throughput with migration + downgrade costs (composite-ISA)");
-    println!("{:<12} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "budget", "free", "with costs", "degradation", "migrations", "downgrades");
-    for (name, budget) in POWER_BUDGETS {
-        match search_system(&eval, SystemKind::CompositeFull, Objective::Throughput, budget, &cfg) {
-            Some(r) => {
-                let mut sim = MigrationSim::new(&eval, MigrationConfig::default());
-                let rep = sim.replay(&r.cores);
-                println!("{:<12} {:>12.3} {:>12.3} {:>11.2}% {:>12} {:>12}",
-                    name, rep.throughput_free, rep.throughput_with_costs,
-                    rep.degradation() * 100.0, rep.migrations, rep.total_downgrades());
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "budget", "free", "with costs", "degradation", "migrations", "downgrades"
+    );
+    let reports = h.runner.map(&POWER_BUDGETS, |&(_, budget)| {
+        search_system(
+            &eval,
+            SystemKind::CompositeFull,
+            Objective::Throughput,
+            budget,
+            &cfg,
+        )
+        .map(|r| {
+            let mut sim = MigrationSim::new(&eval, MigrationConfig::default());
+            sim.replay(&r.cores)
+        })
+    });
+    for ((name, _), rep) in POWER_BUDGETS.iter().zip(reports) {
+        match rep {
+            Some(rep) => {
+                println!(
+                    "{:<12} {:>12.3} {:>12.3} {:>11.2}% {:>12} {:>12}",
+                    name,
+                    rep.throughput_free,
+                    rep.throughput_with_costs,
+                    rep.degradation() * 100.0,
+                    rep.migrations,
+                    rep.total_downgrades()
+                );
                 if rep.total_downgrades() > 0 {
                     let mut kinds: Vec<_> = rep.downgrades.iter().collect();
                     kinds.sort();

@@ -15,7 +15,11 @@ fn main() {
         };
         println!("{name}:");
         for fs in all.iter().filter(|f| f.complexity() == c) {
-            println!("  {:<22} features: {}", fs.to_string(), fs.feature_flags().join(", "));
+            println!(
+                "  {:<22} features: {}",
+                fs.to_string(),
+                fs.feature_flags().join(", ")
+            );
         }
     }
     println!();

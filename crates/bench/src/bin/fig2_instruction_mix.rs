@@ -39,8 +39,10 @@ fn main() {
         ("superset", FeatureSet::superset()),
     ];
     println!("Figure 2: dynamic micro-op mix normalized to x86-64");
-    println!("{:<12} {:<16} {:>7} {:>7} {:>7} {:>7} {:>8} {:>7}",
-        "benchmark", "isa", "loads", "stores", "int", "fp", "branches", "total");
+    println!(
+        "{:<12} {:<16} {:>7} {:>7} {:>7} {:>7} {:>8} {:>7}",
+        "benchmark", "isa", "loads", "stores", "int", "fp", "branches", "total"
+    );
     let benches: Vec<&str> = all_benchmarks().iter().map(|b| b.name).collect();
     for bench in &benches {
         let base = mix_for(bench, &isas[1].1);
@@ -48,7 +50,8 @@ fn main() {
             let m = mix_for(bench, fs);
             println!(
                 "{:<12} {:<16} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>8.3} {:>7.3}",
-                bench, name,
+                bench,
+                name,
                 m.loads / base.loads.max(1e-9),
                 m.stores / base.stores.max(1e-9),
                 m.int / base.int.max(1e-9),

@@ -11,22 +11,41 @@ fn main() {
     let eval = h.evaluator();
     let cfg = h.search_config();
 
-    for (axis_name, budgets) in [("Peak Power Budget", &POWER_BUDGETS), ("Area Budget", &AREA_BUDGETS)] {
+    for (axis_name, budgets) in [
+        ("Peak Power Budget", &POWER_BUDGETS),
+        ("Area Budget", &AREA_BUDGETS),
+    ] {
+        // Every (organization, budget) search is independent: sweep the
+        // whole grid on the shared runner, then print in table order.
+        let grid: Vec<(SystemKind, usize)> = SystemKind::ALL
+            .iter()
+            .flat_map(|&kind| (0..budgets.len()).map(move |bi| (kind, bi)))
+            .collect();
+        let scores = h.runner.map(&grid, |&(kind, bi)| {
+            search_system(&eval, kind, Objective::Throughput, budgets[bi].1, &cfg)
+                .map(|r| r.score)
+                .unwrap_or(f64::NAN)
+        });
+        let score_at = |kind: SystemKind, bi: usize| {
+            scores[grid
+                .iter()
+                .position(|&(k, b)| k == kind && b == bi)
+                .expect("grid covers all")]
+        };
+
         println!("\nFigure 5 ({axis_name}): multiprogrammed throughput, normalized to homogeneous");
-        println!("{:<50} {}", "design", budgets.map(|(n, _)| format!("{n:>10}")).join(" "));
-        let mut base = Vec::new();
+        println!(
+            "{:<50} {}",
+            "design",
+            budgets.map(|(n, _)| format!("{n:>10}")).join(" ")
+        );
         for kind in SystemKind::ALL {
-            let mut cells = Vec::new();
-            for (bi, (_, budget)) in budgets.iter().enumerate() {
-                let score = search_system(&eval, kind, Objective::Throughput, *budget, &cfg)
-                    .map(|r| r.score)
-                    .unwrap_or(f64::NAN);
-                if kind == SystemKind::Homogeneous {
-                    base.push(score);
-                }
-                let norm = score / base.get(bi).copied().unwrap_or(score);
-                cells.push(format!("{norm:>10.3}"));
-            }
+            let cells: Vec<String> = (0..budgets.len())
+                .map(|bi| {
+                    let norm = score_at(kind, bi) / score_at(SystemKind::Homogeneous, bi);
+                    format!("{norm:>10.3}")
+                })
+                .collect();
             println!("{:<50} {}", kind.label(), cells.join(" "));
         }
     }

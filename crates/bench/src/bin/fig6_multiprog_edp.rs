@@ -11,25 +11,41 @@ fn main() {
     let eval = h.evaluator();
     let cfg = h.search_config();
 
-    for (axis_name, budgets) in [("Peak Power Budget", &POWER_BUDGETS), ("Area Budget", &AREA_BUDGETS)] {
+    for (axis_name, budgets) in [
+        ("Peak Power Budget", &POWER_BUDGETS),
+        ("Area Budget", &AREA_BUDGETS),
+    ] {
+        let grid: Vec<(SystemKind, usize)> = SystemKind::ALL
+            .iter()
+            .flat_map(|&kind| (0..budgets.len()).map(move |bi| (kind, bi)))
+            .collect();
+        // score is EDP *gain* vs the reference chip; invert to an EDP
+        // value for the figure.
+        let edps = h.runner.map(&grid, |&(kind, bi)| {
+            search_system(&eval, kind, Objective::Edp, budgets[bi].1, &cfg)
+                .map(|r| 1.0 / r.score)
+                .unwrap_or(f64::NAN)
+        });
+        let edp_at = |kind: SystemKind, bi: usize| {
+            edps[grid
+                .iter()
+                .position(|&(k, b)| k == kind && b == bi)
+                .expect("grid covers all")]
+        };
+
         println!("\nFigure 6 ({axis_name}): multiprogrammed EDP, normalized to homogeneous (lower is better)");
-        println!("{:<50} {}", "design", budgets.map(|(n, _)| format!("{n:>10}")).join(" "));
-        let mut base: Vec<f64> = Vec::new();
+        println!(
+            "{:<50} {}",
+            "design",
+            budgets.map(|(n, _)| format!("{n:>10}")).join(" ")
+        );
         for kind in SystemKind::ALL {
-            let mut cells = Vec::new();
-            for (bi, (_, budget)) in budgets.iter().enumerate() {
-                // score is EDP *gain* vs the reference chip; invert to
-                // an EDP value for the figure.
-                let gain = search_system(&eval, kind, Objective::Edp, *budget, &cfg)
-                    .map(|r| r.score)
-                    .unwrap_or(f64::NAN);
-                let edp = 1.0 / gain;
-                if kind == SystemKind::Homogeneous {
-                    base.push(edp);
-                }
-                let norm = edp / base.get(bi).copied().unwrap_or(edp);
-                cells.push(format!("{norm:>10.3}"));
-            }
+            let cells: Vec<String> = (0..budgets.len())
+                .map(|bi| {
+                    let norm = edp_at(kind, bi) / edp_at(SystemKind::Homogeneous, bi);
+                    format!("{norm:>10.3}")
+                })
+                .collect();
             println!("{:<50} {}", kind.label(), cells.join(" "));
         }
     }

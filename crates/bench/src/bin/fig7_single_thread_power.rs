@@ -11,21 +11,48 @@ fn main() {
     let eval = h.evaluator();
     let cfg = h.search_config();
     for (metric, objective, note) in [
-        ("performance (speedup, higher better)", Objective::SingleThread, "paper: +19.5% vs single-ISA hetero"),
-        ("EDP gain (higher better)", Objective::SingleEdp, "paper: -27.8% EDP vs single-ISA hetero"),
+        (
+            "performance (speedup, higher better)",
+            Objective::SingleThread,
+            "paper: +19.5% vs single-ISA hetero",
+        ),
+        (
+            "EDP gain (higher better)",
+            Objective::SingleEdp,
+            "paper: -27.8% EDP vs single-ISA hetero",
+        ),
     ] {
+        let grid: Vec<(SystemKind, usize)> = SystemKind::ALL
+            .iter()
+            .flat_map(|&kind| (0..SINGLE_THREAD_POWER_BUDGETS.len()).map(move |bi| (kind, bi)))
+            .collect();
+        let cells = h.runner.map(&grid, |&(kind, bi)| {
+            search_system(
+                &eval,
+                kind,
+                objective,
+                SINGLE_THREAD_POWER_BUDGETS[bi].1,
+                &cfg,
+            )
+            .map(|r| format!("{:>10.3}", r.score))
+            .unwrap_or_else(|| format!("{:>10}", "-"))
+        });
+
         println!("\nFigure 7: single-thread {metric} under peak power budgets");
-        println!("{:<50} {}", "design", SINGLE_THREAD_POWER_BUDGETS.map(|(n, _)| format!("{n:>10}")).join(" "));
-        for kind in SystemKind::ALL {
-            let cells: Vec<String> = SINGLE_THREAD_POWER_BUDGETS
-                .iter()
-                .map(|(_, b)| {
-                    search_system(&eval, kind, objective, *b, &cfg)
-                        .map(|r| format!("{:>10.3}", r.score))
-                        .unwrap_or_else(|| format!("{:>10}", "-"))
-                })
-                .collect();
-            println!("{:<50} {}", kind.label(), cells.join(" "));
+        println!(
+            "{:<50} {}",
+            "design",
+            SINGLE_THREAD_POWER_BUDGETS
+                .map(|(n, _)| format!("{n:>10}"))
+                .join(" ")
+        );
+        for (row, kind) in SystemKind::ALL.iter().enumerate() {
+            let n = SINGLE_THREAD_POWER_BUDGETS.len();
+            println!(
+                "{:<50} {}",
+                kind.label(),
+                cells[row * n..(row + 1) * n].join(" ")
+            );
         }
         println!("  {note}");
     }

@@ -15,13 +15,22 @@ fn main() {
     let free = search(&eval, &all, Objective::Throughput, budget, &cfg)
         .expect("unconstrained search feasible")
         .score;
+    let constraints = sensitivity_constraints();
+    let scores = h.runner.map(&constraints, |(_, constraint)| {
+        let cands = constrained_candidates(&h.space, constraint);
+        search(&eval, &cands, Objective::Throughput, budget, &cfg).map(|r| r.score)
+    });
     println!("Figure 9: performance degradation under feature constraints (48mm2, throughput)");
     println!("{:<22} {:>12} {:>14}", "constraint", "score", "degradation");
     println!("{:<22} {:>12.3} {:>14}", "unconstrained", free, "0.0%");
-    for (name, constraint) in sensitivity_constraints() {
-        let cands = constrained_candidates(&h.space, &constraint);
-        let line = match search(&eval, &cands, Objective::Throughput, budget, &cfg) {
-            Some(r) => format!("{:<22} {:>12.3} {:>13.1}%", name, r.score, (1.0 - r.score / free) * 100.0),
+    for ((name, _), score) in constraints.iter().zip(&scores) {
+        let line = match score {
+            Some(s) => format!(
+                "{:<22} {:>12.3} {:>13.1}%",
+                name,
+                s,
+                (1.0 - s / free) * 100.0
+            ),
             None => format!("{:<22} {:>12} {:>14}", name, "-", "infeasible"),
         };
         println!("{line}");

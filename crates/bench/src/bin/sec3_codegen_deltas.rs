@@ -15,7 +15,11 @@ fn per_phase(fs: &FeatureSet) -> Vec<CodeStats> {
     let opts = CompileOptions::default();
     all_phases()
         .iter()
-        .map(|spec| compile(&generate(spec), fs, &opts).expect("phases compile").stats)
+        .map(|spec| {
+            compile(&generate(spec), fs, &opts)
+                .expect("phases compile")
+                .stats
+        })
         .collect()
 }
 
@@ -36,7 +40,9 @@ fn main() {
 
     let d32 = per_phase(&"x86-32D-64W".parse().unwrap());
     let d16 = per_phase(&"x86-16D-64W".parse().unwrap());
-    println!("register depth 32 -> 16 (paper: +3.7% stores, +10.3% loads, +3.5% int, +2.7% branches):");
+    println!(
+        "register depth 32 -> 16 (paper: +3.7% stores, +10.3% loads, +3.5% int, +2.7% branches):"
+    );
     println!("  stores  {}", delta(&d16, &d32, |s| s.stores()));
     println!("  loads   {}", delta(&d16, &d32, |s| s.loads()));
     println!("  int ops {}", delta(&d16, &d32, |s| s.int_ops()));
@@ -57,5 +63,8 @@ fn main() {
     let micro = per_phase(&FeatureSet::minimal());
     println!("\nmicrox86-8D-32W vs x86-64 (paper: +28% memory refs, +11% micro-ops):");
     println!("  memory refs {}", delta(&micro, &x8664, |s| s.mem_refs()));
-    println!("  micro-ops   {}", delta(&micro, &x8664, |s| s.total_uops()));
+    println!(
+        "  micro-ops   {}",
+        delta(&micro, &x8664, |s| s.total_uops())
+    );
 }

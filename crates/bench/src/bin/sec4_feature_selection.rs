@@ -27,7 +27,10 @@ fn main() {
     .map(|s| s.parse().expect("valid"))
     .collect();
 
-    println!("Section IV-A: per-region feature selection over {:?} candidates\n", available.len());
+    println!(
+        "Section IV-A: per-region feature selection over {:?} candidates\n",
+        available.len()
+    );
     let opts = CompileOptions::default();
     for b in all_benchmarks() {
         print!("{:<12}", b.name);
@@ -51,5 +54,7 @@ fn main() {
         );
     }
     println!("\npaper: hmmer always depth 64; bzip2 one region at 64; lbm low pressure;");
-    println!("       sjeng/mcf prefer x86 addressing when register-constrained; milc mixes predication");
+    println!(
+        "       sjeng/mcf prefer x86 addressing when register-constrained; milc mixes predication"
+    );
 }

@@ -30,7 +30,14 @@ fn main() {
             pcs.push((pc, offset + bi as u32));
             pc += b.code_bytes as u64;
         }
-        let trace = TraceGenerator::new(&code, spec, TraceParams { max_uops: 30_000, seed: k as u64 });
+        let trace = TraceGenerator::new(
+            &code,
+            spec,
+            TraceParams {
+                max_uops: 30_000,
+                seed: k as u64,
+            },
+        );
         let mut last = u32::MAX;
         for u in trace.filter(|u| u.first) {
             let block = pcs
@@ -46,7 +53,11 @@ fn main() {
         }
     }
 
-    println!("SimPoint demo: {} block executions over {} static blocks", stream.len(), n_blocks);
+    println!(
+        "SimPoint demo: {} block executions over {} static blocks",
+        stream.len(),
+        n_blocks
+    );
     let bbvs = build_bbvs(&stream, n_blocks, 200);
     println!("{} BBVs (interval = 200 block executions)", bbvs.len());
     let k = 2;
@@ -55,8 +66,7 @@ fn main() {
         let members = result.assignment.iter().filter(|&&a| a == c).count();
         println!(
             "phase {c}: weight {:.2}, representative interval starts at block-execution {}",
-            result.weights[c],
-            bbvs[result.representatives[c]].start
+            result.weights[c], bbvs[result.representatives[c]].start
         );
         let _ = members;
     }
@@ -72,5 +82,9 @@ fn mode(xs: &[usize]) -> usize {
     for &x in xs {
         *counts.entry(x).or_insert(0u32) += 1;
     }
-    counts.into_iter().max_by_key(|&(_, n)| n).map(|(x, _)| x).unwrap_or(0)
+    counts
+        .into_iter()
+        .max_by_key(|&(_, n)| n)
+        .map(|(x, _)| x)
+        .unwrap_or(0)
 }

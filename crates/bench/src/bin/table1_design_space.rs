@@ -17,11 +17,27 @@ fn main() {
     println!("    3 branch predictors, 5 execution bundles, 2 L1 sizes,");
     println!("    2 L2 slices, 2 OoO window classes");
     println!();
-    println!("  feature sets:      {:>5} (paper: 26)", space.feature_sets.len());
-    println!("  microarchitectures:{:>5} (paper: 180)", space.microarchs.len());
+    println!(
+        "  feature sets:      {:>5} (paper: 26)",
+        space.feature_sets.len()
+    );
+    println!(
+        "  microarchitectures:{:>5} (paper: 180)",
+        space.microarchs.len()
+    );
     println!("  design points:     {:>5} (paper: 4,680)", space.len());
-    let (min_a, max_a) = space.budgets.iter().fold((f64::INFINITY, 0f64), |(lo, hi), b| (lo.min(b.0), hi.max(b.0)));
-    let (min_p, max_p) = space.budgets.iter().fold((f64::INFINITY, 0f64), |(lo, hi), b| (lo.min(b.1), hi.max(b.1)));
+    let (min_a, max_a) = space
+        .budgets
+        .iter()
+        .fold((f64::INFINITY, 0f64), |(lo, hi), b| {
+            (lo.min(b.0), hi.max(b.0))
+        });
+    let (min_p, max_p) = space
+        .budgets
+        .iter()
+        .fold((f64::INFINITY, 0f64), |(lo, hi), b| {
+            (lo.min(b.1), hi.max(b.1))
+        });
     println!("  peak power:  {min_p:.1} .. {max_p:.1} W   (paper: 4.8 .. 23.4 W)");
     println!("  core area:   {min_a:.1} .. {max_a:.1} mm2 (paper: 9.4 .. 28.6 mm2)");
 }

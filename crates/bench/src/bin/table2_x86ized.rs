@@ -8,9 +8,20 @@ fn main() {
         let m = v.model();
         println!();
         println!("vendor {v} -> composite {}", v.x86ized());
-        println!("  register depth {}  width {}-bit  fp: {}  code size x{:.2}",
-            m.depth.count(), m.width.bits(), if m.has_fp { "yes" } else { "no" }, m.code_size_factor);
-        println!("  x86-ized exclusive features: {:?}", v.x86ized_exclusive_traits());
-        println!("  unreplicated vendor traits:  {:?}", v.unreplicated_traits());
+        println!(
+            "  register depth {}  width {}-bit  fp: {}  code size x{:.2}",
+            m.depth.count(),
+            m.width.bits(),
+            if m.has_fp { "yes" } else { "no" },
+            m.code_size_factor
+        );
+        println!(
+            "  x86-ized exclusive features: {:?}",
+            v.x86ized_exclusive_traits()
+        );
+        println!(
+            "  unreplicated vendor traits:  {:?}",
+            v.unreplicated_traits()
+        );
     }
 }

@@ -10,16 +10,31 @@ fn main() {
     let eval = h.evaluator();
     let cfg = h.search_config();
     println!("Table III: composite-ISA compositions (multiprogrammed throughput objective)");
-    for (name, budget) in POWER_BUDGETS {
+    let results = h.runner.map(&POWER_BUDGETS, |&(_, budget)| {
+        search_system(
+            &eval,
+            SystemKind::CompositeFull,
+            Objective::Throughput,
+            budget,
+            &cfg,
+        )
+    });
+    for ((name, _), result) in POWER_BUDGETS.iter().zip(results) {
         println!("\nPeak Power Budget: {name}");
-        match search_system(&eval, SystemKind::CompositeFull, Objective::Throughput, budget, &cfg) {
+        match result {
             Some(r) => {
                 for (i, c) in r.cores.iter().enumerate() {
                     let (area, power) = eval.budget(c);
-                    println!("  core {i}: {:<55} {power:>5.1} W {area:>5.1} mm2", c.describe(&h.space));
+                    println!(
+                        "  core {i}: {:<55} {power:>5.1} W {area:>5.1} mm2",
+                        c.describe(&h.space)
+                    );
                 }
                 let total: f64 = r.cores.iter().map(|c| eval.budget(c).1).sum();
-                println!("  total peak power: {total:.1} W   throughput score: {:.3}", r.score);
+                println!(
+                    "  total peak power: {total:.1} W   throughput score: {:.3}",
+                    r.score
+                );
             }
             None => println!("  infeasible"),
         }

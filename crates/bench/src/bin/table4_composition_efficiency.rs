@@ -10,13 +10,25 @@ fn main() {
     let eval = h.evaluator();
     let cfg = h.search_config();
     println!("Table IV: composite-ISA compositions (multiprogrammed efficiency objective)");
-    for (name, budget) in POWER_BUDGETS {
+    let results = h.runner.map(&POWER_BUDGETS, |&(_, budget)| {
+        search_system(
+            &eval,
+            SystemKind::CompositeFull,
+            Objective::Edp,
+            budget,
+            &cfg,
+        )
+    });
+    for ((name, _), result) in POWER_BUDGETS.iter().zip(results) {
         println!("\nPeak Power Budget: {name}");
-        match search_system(&eval, SystemKind::CompositeFull, Objective::Edp, budget, &cfg) {
+        match result {
             Some(r) => {
                 for (i, c) in r.cores.iter().enumerate() {
                     let (area, power) = eval.budget(c);
-                    println!("  core {i}: {:<55} {power:>5.1} W {area:>5.1} mm2", c.describe(&h.space));
+                    println!(
+                        "  core {i}: {:<55} {power:>5.1} W {area:>5.1} mm2",
+                        c.describe(&h.space)
+                    );
                 }
                 println!("  EDP gain over reference chip: {:.2}x", r.score);
             }

@@ -11,7 +11,7 @@
 use std::path::PathBuf;
 
 use cisa_explore::multicore::{Budget, Evaluator, SearchConfig};
-use cisa_explore::{DesignSpace, PerfTable};
+use cisa_explore::{DesignSpace, PerfTable, SweepRunner};
 
 /// Where cached sweep results and experiment outputs live.
 pub fn results_dir() -> PathBuf {
@@ -24,32 +24,48 @@ pub fn results_dir() -> PathBuf {
     p.join("results")
 }
 
-/// The experiment harness: design space + cached performance table.
+/// The experiment harness: design space + shared sweep runner + cached
+/// performance table.
 pub struct Harness {
     /// The 26 x 180 design space.
     pub space: DesignSpace,
     /// The evaluated table over all 49 phases.
     pub table: PerfTable,
+    /// The shared sweep executor: `CISA_THREADS` workers and the
+    /// cross-binary probe cache in `results/cache/`.
+    pub runner: SweepRunner,
 }
 
 impl Harness {
-    /// Loads the cached table or builds it (minutes on first run).
+    /// Loads the cached table or builds it (expensive on first run;
+    /// parallel across `CISA_THREADS` workers, incremental through the
+    /// probe cache in `results/cache/`).
     pub fn load() -> Self {
         let space = DesignSpace::new();
+        let runner = SweepRunner::from_env(results_dir().join("cache"));
         let path = results_dir().join("perf_table.bin");
         let started = std::time::Instant::now();
         let existed = path.exists();
-        let table = PerfTable::load_or_build(&space, &path);
+        let table = PerfTable::load_or_build_with(&space, &path, &runner);
         if !existed {
+            let (hits, misses, _) = runner.cache().map_or((0, 0, 0), |c| c.stats());
             eprintln!(
-                "[harness] built perf table ({} phases x {} designs) in {:.1}s -> {}",
+                "[harness] built perf table ({} phases x {} designs) in {:.1}s \
+                 on {} threads ({} cached probes, {} fresh) -> {}",
                 table.n_phases,
                 space.len(),
                 started.elapsed().as_secs_f64(),
+                runner.threads(),
+                hits,
+                misses,
                 path.display()
             );
         }
-        Harness { space, table }
+        Harness {
+            space,
+            table,
+            runner,
+        }
     }
 
     /// An evaluator over the full workload-mix set.
@@ -91,6 +107,8 @@ pub const SINGLE_THREAD_POWER_BUDGETS: [(&str, Budget); 4] = [
     ("15W", Budget::PeakPower(15.0)),
     ("Unlimited", Budget::Unlimited),
 ];
+
+pub mod timing;
 
 /// Prints a markdown-ish table row.
 pub fn row(cells: &[String]) -> String {

@@ -53,17 +53,18 @@ impl Dominators {
         let mut idom: Vec<Option<BlockId>> = vec![None; n];
         idom[0] = Some(BlockId(0));
 
-        let intersect = |idom: &[Option<BlockId>], rpo_index: &[usize], mut a: BlockId, mut b: BlockId| {
-            while a != b {
-                while rpo_index[a.idx()] > rpo_index[b.idx()] {
-                    a = idom[a.idx()].expect("processed");
+        let intersect =
+            |idom: &[Option<BlockId>], rpo_index: &[usize], mut a: BlockId, mut b: BlockId| {
+                while a != b {
+                    while rpo_index[a.idx()] > rpo_index[b.idx()] {
+                        a = idom[a.idx()].expect("processed");
+                    }
+                    while rpo_index[b.idx()] > rpo_index[a.idx()] {
+                        b = idom[b.idx()].expect("processed");
+                    }
                 }
-                while rpo_index[b.idx()] > rpo_index[a.idx()] {
-                    b = idom[b.idx()].expect("processed");
-                }
-            }
-            a
-        };
+                a
+            };
 
         let mut changed = true;
         while changed {
@@ -180,7 +181,11 @@ pub fn natural_loops(func: &IrFunction, dom: &Dominators) -> Vec<NaturalLoop> {
                 }
             }
             body.sort();
-            loops.push(NaturalLoop { header, latch, body });
+            loops.push(NaturalLoop {
+                header,
+                latch,
+                body,
+            });
         }
     }
     loops.sort_by_key(|l| (l.header, l.latch));

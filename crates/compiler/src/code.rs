@@ -216,8 +216,16 @@ mod tests {
     fn stats_accumulate_weighted_uops() {
         let fs = FeatureSet::x86_64();
         let insts = vec![
-            MachineInst::load(ArchReg::gpr(1), MemOperand::base_only(ArchReg::gpr(2), MemLocality::Stream)),
-            MachineInst::compute(MacroOpcode::IntAlu, ArchReg::gpr(1), Operand::Reg(ArchReg::gpr(1)), Operand::None),
+            MachineInst::load(
+                ArchReg::gpr(1),
+                MemOperand::base_only(ArchReg::gpr(2), MemLocality::Stream),
+            ),
+            MachineInst::compute(
+                MacroOpcode::IntAlu,
+                ArchReg::gpr(1),
+                Operand::Reg(ArchReg::gpr(1)),
+                Operand::None,
+            ),
         ];
         let code = finalize(
             "t".into(),
@@ -226,7 +234,10 @@ mod tests {
             RegAllocStats::default(),
             IfConvertStats::default(),
         );
-        assert!((code.stats.loads() - 20.0).abs() < 1e-9, "load + ret's pop, both x10");
+        assert!(
+            (code.stats.loads() - 20.0).abs() < 1e-9,
+            "load + ret's pop, both x10"
+        );
         assert!((code.stats.uop(MicroOpKind::IntAlu) - 10.0).abs() < 1e-9);
         // macro: load + alu + ret = 3, x10.
         assert!((code.stats.macro_ops - 30.0).abs() < 1e-9);
@@ -247,7 +258,9 @@ mod tests {
     fn terminator_insts() {
         assert!(terminator_inst(&Terminator::Ret).is_some());
         assert!(matches!(
-            terminator_inst(&Terminator::Jump(crate::ir::BlockId(0))).unwrap().opcode,
+            terminator_inst(&Terminator::Jump(crate::ir::BlockId(0)))
+                .unwrap()
+                .opcode,
             MacroOpcode::Jump
         ));
     }

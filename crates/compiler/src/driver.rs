@@ -142,7 +142,11 @@ mod tests {
             },
             100.0,
         );
-        head.insts.push(IrInst::load(x, AddrExpr::base(ptr), MemLocality::WorkingSet));
+        head.insts.push(IrInst::load(
+            x,
+            AddrExpr::base(ptr),
+            MemLocality::WorkingSet,
+        ));
         head.insts.push(IrInst::compute(IrOp::Cmp, c, x, i));
         f.add_block(head);
         // bb1 / bb2: small arms.
@@ -214,12 +218,20 @@ mod tests {
         let all = compile_all_feature_sets(&f, &CompileOptions::default()).unwrap();
         assert_eq!(all.len(), 26);
         for code in &all {
-            assert!(code.stats.total_uops() > 0.0, "{} produced no code", code.fs);
+            assert!(
+                code.stats.total_uops() > 0.0,
+                "{} produced no code",
+                code.fs
+            );
             assert!(code.stats.code_bytes > 0);
             // Every instruction must be legal under its own target.
             for b in &code.blocks {
                 for inst in &b.insts {
-                    assert!(inst.legal_under(&code.fs), "{inst} illegal under {}", code.fs);
+                    assert!(
+                        inst.legal_under(&code.fs),
+                        "{inst} illegal under {}",
+                        code.fs
+                    );
                 }
             }
         }
@@ -244,7 +256,11 @@ mod tests {
         let mut vals = Vec::new();
         for k in 0..24 {
             let v = f.new_vreg();
-            b.insts.push(IrInst::load(v, AddrExpr::base_disp(base, k * 8), MemLocality::WorkingSet));
+            b.insts.push(IrInst::load(
+                v,
+                AddrExpr::base_disp(base, k * 8),
+                MemLocality::WorkingSet,
+            ));
             vals.push(v);
         }
         let mut acc = f.new_vreg();

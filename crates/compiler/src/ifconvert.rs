@@ -250,7 +250,10 @@ mod tests {
         assert_eq!(f.blocks[0].insts.len(), 1 + 6);
         assert!(matches!(f.blocks[0].term, Terminator::Jump(BlockId(3))));
         // Hoisted instructions carry complementary predicates.
-        let preds: Vec<_> = f.blocks[0].insts[1..].iter().map(|i| i.pred.unwrap().1).collect();
+        let preds: Vec<_> = f.blocks[0].insts[1..]
+            .iter()
+            .map(|i| i.pred.unwrap().1)
+            .collect();
         assert_eq!(preds, vec![false, false, false, true, true, true]);
         f.validate().unwrap();
     }
@@ -288,7 +291,11 @@ mod tests {
         entry.insts.push(IrInst::compute(IrOp::Cmp, cond, x, x));
         func.add_block(entry);
         let mut t = IrBlock::new(Terminator::Jump(BlockId(2)), 25.0);
-        t.insts.push(IrInst::store(x, AddrExpr::base(cond), MemLocality::WorkingSet));
+        t.insts.push(IrInst::store(
+            x,
+            AddrExpr::base(cond),
+            MemLocality::WorkingSet,
+        ));
         func.add_block(t);
         func.add_block(IrBlock::new(Terminator::Ret, 50.0));
         func.validate().unwrap();
@@ -296,7 +303,10 @@ mod tests {
         let stats = if_convert(&mut func, &IfConvertConfig::default());
         assert_eq!(stats.triangles, 1);
         assert!(matches!(func.blocks[0].term, Terminator::Jump(BlockId(2))));
-        assert_eq!(func.blocks[0].insts.last().unwrap().pred, Some((cond, false)));
+        assert_eq!(
+            func.blocks[0].insts.last().unwrap().pred,
+            Some((cond, false))
+        );
         func.validate().unwrap();
     }
 

@@ -316,7 +316,9 @@ impl Terminator {
     /// Successor block ids.
     pub fn successors(&self) -> Vec<BlockId> {
         match *self {
-            Terminator::Branch { taken, not_taken, .. } => vec![taken, not_taken],
+            Terminator::Branch {
+                taken, not_taken, ..
+            } => vec![taken, not_taken],
             Terminator::Jump(t) => vec![t],
             Terminator::Ret => vec![],
         }
@@ -497,7 +499,11 @@ mod tests {
             100.0,
         );
         body.insts.push(IrInst::constant(a, 4));
-        body.insts.push(IrInst::load(b, AddrExpr::base_disp(a, 8), MemLocality::Stream));
+        body.insts.push(IrInst::load(
+            b,
+            AddrExpr::base_disp(a, 8),
+            MemLocality::Stream,
+        ));
         body.insts.push(IrInst::compute(IrOp::IntAlu, c, a, b));
         body.loop_depth = 1;
         f.add_block(body);
@@ -520,7 +526,9 @@ mod tests {
     #[test]
     fn validate_rejects_out_of_range_vreg() {
         let mut f = tiny();
-        f.blocks[0].insts.push(IrInst::compute(IrOp::IntAlu, VReg(99), VReg(0), VReg(1)));
+        f.blocks[0]
+            .insts
+            .push(IrInst::compute(IrOp::IntAlu, VReg(99), VReg(0), VReg(1)));
         assert!(f.validate().is_err());
     }
 
@@ -533,7 +541,11 @@ mod tests {
 
     #[test]
     fn uses_and_defs() {
-        let i = IrInst::load(VReg(3), AddrExpr::base_index(VReg(1), VReg(2), 4), MemLocality::Stack);
+        let i = IrInst::load(
+            VReg(3),
+            AddrExpr::base_index(VReg(1), VReg(2), 4),
+            MemLocality::Stack,
+        );
         assert_eq!(i.uses().collect::<Vec<_>>(), vec![VReg(1), VReg(2)]);
         assert_eq!(i.def(), Some(VReg(3)));
         let s = IrInst::store(VReg(4), AddrExpr::base(VReg(5)), MemLocality::Stack);

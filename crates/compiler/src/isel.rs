@@ -192,7 +192,14 @@ pub fn select(func: &IrFunction, fs: &FeatureSet) -> VFunction {
         let vectorize = b.vectorizable.filter(|_| fs.simd() == SimdSupport::Sse);
         let mut insts = Vec::with_capacity(b.insts.len() + 4);
         for i in &b.insts {
-            lower_inst(i, vectorize.is_some(), narrow, &mut hi_regs, &mut new_vreg, &mut insts);
+            lower_inst(
+                i,
+                vectorize.is_some(),
+                narrow,
+                &mut hi_regs,
+                &mut new_vreg,
+                &mut insts,
+            );
         }
         let weight = match vectorize {
             Some(hint) => b.weight / hint.lanes.max(1) as f64,
@@ -226,16 +233,23 @@ fn lower_inst(
     out: &mut Vec<VInst>,
 ) {
     let dst = i.def();
-    let s1 = if i.src1 == IrInst::NONE { VOp::None } else { VOp::Reg(i.src1) };
-    let s2 = if i.src2 == IrInst::NONE { VOp::None } else { VOp::Reg(i.src2) };
+    let s1 = if i.src1 == IrInst::NONE {
+        VOp::None
+    } else {
+        VOp::Reg(i.src1)
+    };
+    let s2 = if i.src2 == IrInst::NONE {
+        VOp::None
+    } else {
+        VOp::Reg(i.src2)
+    };
     let pred = i.pred;
     let push = |out: &mut Vec<VInst>, mut v: VInst| {
         v.pred = pred;
         out.push(v);
     };
-    let mut hi = |r: VReg, new_vreg: &mut dyn FnMut() -> VReg| {
-        *hi_regs.entry(r).or_insert_with(|| new_vreg())
-    };
+    let mut hi =
+        |r: VReg, new_vreg: &mut dyn FnMut() -> VReg| *hi_regs.entry(r).or_insert_with(new_vreg);
     // Double-pump 64-bit *integer* data on 32-bit targets.
     let double_pump = narrow && i.wide && !matches!(i.op, IrOp::FpAlu | IrOp::FpMul);
     // Mark REX.W on 64-bit targets.
@@ -249,7 +263,12 @@ fn lower_inst(
             push(out, v);
             if double_pump {
                 let d = dst.expect("const defines");
-                let mut v2 = VInst::new(MacroOpcode::Mov, Some(hi(d, new_vreg)), VOp::Imm(imm_bytes), VOp::None);
+                let mut v2 = VInst::new(
+                    MacroOpcode::Mov,
+                    Some(hi(d, new_vreg)),
+                    VOp::Imm(imm_bytes),
+                    VOp::None,
+                );
                 v2.remat_imm = Some(imm_bytes);
                 push(out, v2);
             }
@@ -267,9 +286,20 @@ fn lower_inst(
                 let d = dst.expect("alu defines");
                 let h1 = i.src1 != IrInst::NONE;
                 let h2 = i.src2 != IrInst::NONE;
-                let hs1 = if h1 { VOp::Reg(hi(i.src1, new_vreg)) } else { VOp::None };
-                let hs2 = if h2 { VOp::Reg(hi(i.src2, new_vreg)) } else { VOp::None };
-                push(out, VInst::new(MacroOpcode::IntAlu, Some(hi(d, new_vreg)), hs1, hs2));
+                let hs1 = if h1 {
+                    VOp::Reg(hi(i.src1, new_vreg))
+                } else {
+                    VOp::None
+                };
+                let hs2 = if h2 {
+                    VOp::Reg(hi(i.src2, new_vreg))
+                } else {
+                    VOp::None
+                };
+                push(
+                    out,
+                    VInst::new(MacroOpcode::IntAlu, Some(hi(d, new_vreg)), hs1, hs2),
+                );
             }
         }
         IrOp::IntMul => {
@@ -281,15 +311,26 @@ fn lower_inst(
                 let dh = hi(d, new_vreg);
                 // Cross product + accumulate.
                 push(out, VInst::new(MacroOpcode::IntMul, Some(dh), s1, s2));
-                push(out, VInst::new(MacroOpcode::IntAlu, Some(dh), VOp::Reg(dh), s1));
+                push(
+                    out,
+                    VInst::new(MacroOpcode::IntAlu, Some(dh), VOp::Reg(dh), s1),
+                );
             }
         }
         IrOp::FpAlu => {
-            let opcode = if vectorized { MacroOpcode::VecAlu } else { MacroOpcode::FpAlu };
+            let opcode = if vectorized {
+                MacroOpcode::VecAlu
+            } else {
+                MacroOpcode::FpAlu
+            };
             push(out, VInst::new(opcode, dst, s1, s2));
         }
         IrOp::FpMul => {
-            let opcode = if vectorized { MacroOpcode::VecAlu } else { MacroOpcode::FpMul };
+            let opcode = if vectorized {
+                MacroOpcode::VecAlu
+            } else {
+                MacroOpcode::FpMul
+            };
             push(out, VInst::new(opcode, dst, s1, s2));
         }
         IrOp::Load { loc } => {
@@ -301,7 +342,12 @@ fn lower_inst(
             push(out, v);
             if double_pump {
                 let d = dst.expect("load defines");
-                let mut v2 = VInst::new(MacroOpcode::Load, Some(hi(d, new_vreg)), VOp::None, VOp::None);
+                let mut v2 = VInst::new(
+                    MacroOpcode::Load,
+                    Some(hi(d, new_vreg)),
+                    VOp::None,
+                    VOp::None,
+                );
                 let mut m = VMem::from_addr(&addr, loc);
                 m.disp_bytes = m.disp_bytes.max(1); // +4 offset for the hi half
                 v2.mem = Some(m);
@@ -415,7 +461,8 @@ fn fold_memory_operands(func: &mut VFunction) {
         let mut i = 0;
         while i + 1 < b.insts.len() {
             let inst = b.insts[i];
-            let foldable_op = matches!(inst.opcode, MacroOpcode::IntAlu) && inst.mem.is_none() && !inst.wide;
+            let foldable_op =
+                matches!(inst.opcode, MacroOpcode::IntAlu) && inst.mem.is_none() && !inst.wide;
             if foldable_op {
                 if let Some(v) = inst.def() {
                     if defs.get(&v) == Some(&1) && uses.get(&v) == Some(&1) {
@@ -461,10 +508,15 @@ mod tests {
         let t = f.new_vreg();
         let u = f.new_vreg();
         let mut b = IrBlock::new(Terminator::Ret, 10.0);
-        b.insts.push(IrInst::load(t, AddrExpr::base_disp(p, 8), MemLocality::Stream));
+        b.insts.push(IrInst::load(
+            t,
+            AddrExpr::base_disp(p, 8),
+            MemLocality::Stream,
+        ));
         b.insts.push(IrInst::compute(IrOp::IntAlu, s, s, t));
         b.insts.push(IrInst::compute(IrOp::IntAlu, u, s, p));
-        b.insts.push(IrInst::store(u, AddrExpr::base(q), MemLocality::Stream));
+        b.insts
+            .push(IrInst::store(u, AddrExpr::base(q), MemLocality::Stream));
         f.add_block(b);
         f.validate().unwrap();
         f
@@ -476,9 +528,17 @@ mod tests {
         let ops: Vec<_> = v.blocks[0].insts.iter().map(|i| i.opcode).collect();
         assert_eq!(
             ops,
-            vec![MacroOpcode::Load, MacroOpcode::IntAlu, MacroOpcode::IntAlu, MacroOpcode::Store]
+            vec![
+                MacroOpcode::Load,
+                MacroOpcode::IntAlu,
+                MacroOpcode::IntAlu,
+                MacroOpcode::Store
+            ]
         );
-        assert!(v.blocks[0].insts.iter().all(|i| i.uop_count() == 1), "microx86 is 1:1");
+        assert!(
+            v.blocks[0].insts.iter().all(|i| i.uop_count() == 1),
+            "microx86 is 1:1"
+        );
     }
 
     #[test]
@@ -511,7 +571,8 @@ mod tests {
         let a = f.new_vreg();
         let b2 = f.new_vreg();
         let mut b = IrBlock::new(Terminator::Ret, 1.0);
-        b.insts.push(IrInst::load(t, AddrExpr::base(p), MemLocality::Stream));
+        b.insts
+            .push(IrInst::load(t, AddrExpr::base(p), MemLocality::Stream));
         b.insts.push(IrInst::compute(IrOp::IntAlu, a, t, t));
         b.insts.push(IrInst::compute(IrOp::IntAlu, b2, t, a));
         f.add_block(b);
@@ -535,22 +596,33 @@ mod tests {
             64.0,
         );
         b.vectorizable = Some(VectorizableHint { lanes: 4 });
-        b.insts.push(IrInst::load(x, AddrExpr::base(p), MemLocality::Stream));
+        b.insts
+            .push(IrInst::load(x, AddrExpr::base(p), MemLocality::Stream));
         b.insts.push(IrInst::compute(IrOp::FpAlu, y, x, x));
-        b.insts.push(IrInst::store(y, AddrExpr::base(p), MemLocality::Stream));
+        b.insts
+            .push(IrInst::store(y, AddrExpr::base(p), MemLocality::Stream));
         f.add_block(b);
         f.add_block(IrBlock::new(Terminator::Ret, 1.0));
         f.validate().unwrap();
 
         let sse = select(&f, &FeatureSet::x86_64());
         assert!(sse.blocks[0].vectorized);
-        assert!((sse.blocks[0].weight - 16.0).abs() < 1e-9, "64 iters / 4 lanes");
-        assert!(sse.blocks[0].insts.iter().any(|i| i.opcode == MacroOpcode::VecAlu));
+        assert!(
+            (sse.blocks[0].weight - 16.0).abs() < 1e-9,
+            "64 iters / 4 lanes"
+        );
+        assert!(sse.blocks[0]
+            .insts
+            .iter()
+            .any(|i| i.opcode == MacroOpcode::VecAlu));
 
         let scalar = select(&f, &fs(Complexity::MicroX86, RegisterWidth::W32));
         assert!(!scalar.blocks[0].vectorized);
         assert_eq!(scalar.blocks[0].weight, 64.0);
-        assert!(scalar.blocks[0].insts.iter().all(|i| i.opcode != MacroOpcode::VecAlu));
+        assert!(scalar.blocks[0]
+            .insts
+            .iter()
+            .all(|i| i.opcode != MacroOpcode::VecAlu));
     }
 
     #[test]
@@ -565,7 +637,10 @@ mod tests {
 
         let narrow = select(&f, &fs(Complexity::MicroX86, RegisterWidth::W32));
         assert_eq!(narrow.blocks[0].insts.len(), 2, "lo + hi halves");
-        assert!(narrow.vreg_count > f.vreg_count, "hi-half registers allocated");
+        assert!(
+            narrow.vreg_count > f.vreg_count,
+            "hi-half registers allocated"
+        );
 
         let wide = select(&f, &FeatureSet::x86_64());
         assert_eq!(wide.blocks[0].insts.len(), 1);
@@ -578,12 +653,22 @@ mod tests {
         let p = f.new_vreg();
         let d = f.new_vreg();
         let mut b = IrBlock::new(Terminator::Ret, 1.0);
-        b.insts.push(IrInst::load(d, AddrExpr::base(p), MemLocality::WorkingSet).wide());
-        b.insts.push(IrInst::store(d, AddrExpr::base(p), MemLocality::WorkingSet).wide());
+        b.insts
+            .push(IrInst::load(d, AddrExpr::base(p), MemLocality::WorkingSet).wide());
+        b.insts
+            .push(IrInst::store(d, AddrExpr::base(p), MemLocality::WorkingSet).wide());
         f.add_block(b);
         let narrow = select(&f, &fs(Complexity::X86, RegisterWidth::W32));
-        let loads = narrow.blocks[0].insts.iter().filter(|i| i.opcode == MacroOpcode::Load).count();
-        let stores = narrow.blocks[0].insts.iter().filter(|i| i.opcode == MacroOpcode::Store).count();
+        let loads = narrow.blocks[0]
+            .insts
+            .iter()
+            .filter(|i| i.opcode == MacroOpcode::Load)
+            .count();
+        let stores = narrow.blocks[0]
+            .insts
+            .iter()
+            .filter(|i| i.opcode == MacroOpcode::Store)
+            .count();
         assert_eq!((loads, stores), (2, 2));
     }
 

@@ -109,7 +109,11 @@ pub fn allocate(func: &VFunction, fs: &FeatureSet) -> AllocFunction {
     let intervals = build_intervals(func);
     let (assignment, spills) = scan(&intervals, pool.len());
     let reserve = if depth <= 8 { 2 } else { 3 };
-    let scratch_count = if spills.is_empty() { 0 } else { reserve.min(pool.len().saturating_sub(1)) };
+    let scratch_count = if spills.is_empty() {
+        0
+    } else {
+        reserve.min(pool.len().saturating_sub(1))
+    };
     let (assignment, spills) = if scratch_count == 0 {
         (assignment, spills)
     } else {
@@ -281,9 +285,14 @@ fn build_intervals(func: &VFunction) -> Vec<Interval> {
     out
 }
 
+/// Vreg-to-pool-slot assignments.
+type Assignments = Vec<(VReg, usize)>;
+/// Spilled vregs with an optional rematerialization width.
+type Spills = Vec<(VReg, Option<u8>)>;
+
 /// Linear scan proper: returns `(assignments, spills)` where assignments
 /// map vregs to pool slots and spills carry an optional remat width.
-fn scan(intervals: &[Interval], k: usize) -> (Vec<(VReg, usize)>, Vec<(VReg, Option<u8>)>) {
+fn scan(intervals: &[Interval], k: usize) -> (Assignments, Spills) {
     let mut active: Vec<(u32, usize, VReg)> = Vec::new(); // (end, slot, vreg)
     let mut free: Vec<usize> = (0..k).rev().collect(); // pop() yields slot 0 first
     let mut assigned: Vec<(VReg, usize)> = Vec::new();
@@ -335,7 +344,10 @@ fn scan(intervals: &[Interval], k: usize) -> (Vec<(VReg, usize)>, Vec<(VReg, Opt
                 // Evict the active interval; current takes its slot.
                 active.remove(victim_idx);
                 assigned.retain(|&(v, _)| v != vv);
-                let remat = intervals.iter().find(|i| i.vreg == vv).and_then(|i| i.remat_imm);
+                let remat = intervals
+                    .iter()
+                    .find(|i| i.vreg == vv)
+                    .and_then(|i| i.remat_imm);
                 spilled.push((vv, remat));
                 active.push((iv.end, vslot, iv.vreg));
                 slot_of.insert(iv.vreg, vslot);
@@ -499,7 +511,11 @@ fn lower_vinst(
         src1: conv(v.src1),
         src2: conv(v.src2),
         mem,
-        mem_role: if mem.is_some() { v.mem_role } else { MemRole::None },
+        mem_role: if mem.is_some() {
+            v.mem_role
+        } else {
+            MemRole::None
+        },
         wide: v.wide,
         predicate: v.pred.map(|(p, negated)| PredicateAnnotation {
             reg: map(p),
@@ -516,7 +532,13 @@ mod tests {
     use cisa_isa::feature_set::{Complexity, Predication, RegisterDepth, RegisterWidth};
 
     fn fs_depth(d: RegisterDepth) -> FeatureSet {
-        FeatureSet::new(Complexity::MicroX86, RegisterWidth::W32, d, Predication::Partial).unwrap()
+        FeatureSet::new(
+            Complexity::MicroX86,
+            RegisterWidth::W32,
+            d,
+            Predication::Partial,
+        )
+        .unwrap()
     }
 
     /// A straight-line block with `n` simultaneously live values.
@@ -527,7 +549,11 @@ mod tests {
         let mut b = IrBlock::new(Terminator::Ret, 100.0);
         for k in 0..n {
             let v = f.new_vreg();
-            b.insts.push(IrInst::load(v, AddrExpr::base_disp(base, k as i32 * 8), cisa_isa::inst::MemLocality::WorkingSet));
+            b.insts.push(IrInst::load(
+                v,
+                AddrExpr::base_disp(base, k as i32 * 8),
+                cisa_isa::inst::MemLocality::WorkingSet,
+            ));
             live.push(v);
         }
         // Consume all values at the end so they are simultaneously live.
@@ -557,7 +583,10 @@ mod tests {
         let func = pressure(20);
         let v = select(&func, &fs_depth(RegisterDepth::D8));
         let a8 = allocate(&v, &fs_depth(RegisterDepth::D8));
-        let a32 = allocate(&select(&func, &fs_depth(RegisterDepth::D32)), &fs_depth(RegisterDepth::D32));
+        let a32 = allocate(
+            &select(&func, &fs_depth(RegisterDepth::D32)),
+            &fs_depth(RegisterDepth::D32),
+        );
         assert!(a8.stats.spilled > 0, "depth 8 must spill 20 live values");
         assert!(a8.stats.dyn_refill_loads > a32.stats.dyn_refill_loads);
         assert_eq!(a32.stats.spilled, 0, "depth 32 holds 20 values");
@@ -567,7 +596,12 @@ mod tests {
     fn spill_code_grows_monotonically_as_depth_shrinks() {
         let func = pressure(40);
         let mut prev = f64::INFINITY;
-        for d in [RegisterDepth::D8, RegisterDepth::D16, RegisterDepth::D32, RegisterDepth::D64] {
+        for d in [
+            RegisterDepth::D8,
+            RegisterDepth::D16,
+            RegisterDepth::D32,
+            RegisterDepth::D64,
+        ] {
             let fs = fs_depth(d);
             let a = allocate(&select(&func, &fs), &fs);
             let spill_traffic = a.stats.dyn_spill_stores + a.stats.dyn_refill_loads;
@@ -613,15 +647,22 @@ mod tests {
         let spill_ops: Vec<&MachineInst> = a.blocks[0]
             .insts
             .iter()
-            .filter(|i| i.mem.map_or(false, |m| m.base == stack_pointer()))
+            .filter(|i| i.mem.is_some_and(|m| m.base == stack_pointer()))
             .collect();
         assert!(!spill_ops.is_empty());
-        assert!(spill_ops.iter().all(|i| i.mem.unwrap().locality == MemLocality::Stack));
+        assert!(spill_ops
+            .iter()
+            .all(|i| i.mem.unwrap().locality == MemLocality::Stack));
     }
 
     #[test]
     fn all_registers_respect_depth() {
-        for d in [RegisterDepth::D8, RegisterDepth::D16, RegisterDepth::D32, RegisterDepth::D64] {
+        for d in [
+            RegisterDepth::D8,
+            RegisterDepth::D16,
+            RegisterDepth::D32,
+            RegisterDepth::D64,
+        ] {
             let fs = fs_depth(d);
             let func = pressure(24);
             let a = allocate(&select(&func, &fs), &fs);
@@ -719,7 +760,11 @@ mod tests {
         seen.extend(spilled.iter().map(|&(v, _)| v));
         seen.sort();
         seen.dedup();
-        assert_eq!(seen.len(), intervals.len(), "every interval is placed exactly once");
+        assert_eq!(
+            seen.len(),
+            intervals.len(),
+            "every interval is placed exactly once"
+        );
     }
 
     #[test]
@@ -735,7 +780,11 @@ mod tests {
         f.add_block(b);
         let fs = FeatureSet::superset();
         let a = allocate(&select(&f, &fs), &fs);
-        let pinst = a.blocks[0].insts.iter().find(|i| i.predicate.is_some()).unwrap();
+        let pinst = a.blocks[0]
+            .insts
+            .iter()
+            .find(|i| i.predicate.is_some())
+            .unwrap();
         let p = pinst.predicate.unwrap();
         assert!(p.negated);
         assert!(p.reg.available_in(&fs));

@@ -66,7 +66,10 @@ pub fn select_feature_set(
     available: &[FeatureSet],
     options: &CompileOptions,
 ) -> FeatureChoice {
-    assert!(!available.is_empty(), "a multicore implements at least one feature set");
+    assert!(
+        !available.is_empty(),
+        "a multicore implements at least one feature set"
+    );
     let mut ranking: Vec<(FeatureSet, f64)> = available
         .iter()
         .filter_map(|fs| {
@@ -105,7 +108,11 @@ mod tests {
         let mut live = Vec::new();
         for k in 0..n {
             let v = f.new_vreg();
-            b.insts.push(IrInst::load(v, AddrExpr::base_disp(base, k as i32 * 8), MemLocality::WorkingSet));
+            b.insts.push(IrInst::load(
+                v,
+                AddrExpr::base_disp(base, k as i32 * 8),
+                MemLocality::WorkingSet,
+            ));
             live.push(v);
         }
         let mut acc = f.new_vreg();
@@ -123,7 +130,10 @@ mod tests {
     #[test]
     fn high_pressure_regions_pick_deep_registers() {
         let f = pressure_region(40);
-        let c = choose(&f, &["microx86-16D-32W", "microx86-32D-32W", "microx86-64D-32W"]);
+        let c = choose(
+            &f,
+            &["microx86-16D-32W", "microx86-32D-32W", "microx86-64D-32W"],
+        );
         assert_eq!(c.depth(), 64, "40 live values want depth 64");
     }
 
@@ -137,7 +147,10 @@ mod tests {
     #[test]
     fn ranking_is_exhaustive_and_sorted() {
         let f = pressure_region(20);
-        let c = choose(&f, &["microx86-8D-32W", "microx86-16D-32W", "microx86-32D-32W"]);
+        let c = choose(
+            &f,
+            &["microx86-8D-32W", "microx86-16D-32W", "microx86-32D-32W"],
+        );
         assert_eq!(c.ranking.len(), 3);
         assert!(c.ranking.windows(2).all(|w| w[0].1 <= w[1].1));
         assert_eq!(c.ranking[0].0, c.chosen);
@@ -186,7 +199,10 @@ mod tests {
             .iter()
             .find(|(fs, _)| fs.predication() == Predication::Partial)
             .expect("partial candidate ranked");
-        assert!(full.1 <= partial.1 * 1.2, "predicated code stays competitive");
+        assert!(
+            full.1 <= partial.1 * 1.2,
+            "predicated code stays competitive"
+        );
     }
 
     #[test]

@@ -165,10 +165,7 @@ impl UopCache {
         if set.len() < self.ways {
             set.push((window, stamp));
         } else {
-            let lru = set
-                .iter_mut()
-                .min_by_key(|e| e.1)
-                .expect("non-empty set");
+            let lru = set.iter_mut().min_by_key(|e| e.1).expect("non-empty set");
             *lru = (window, stamp);
         }
         false
@@ -354,7 +351,11 @@ mod tests {
         fe.supply(&rec(0, 1));
         let bytes_after_miss = fe.stats().ild_bytes;
         fe.supply(&rec(0, 1)); // same window: hit
-        assert_eq!(fe.stats().ild_bytes, bytes_after_miss, "hits bypass the ILD");
+        assert_eq!(
+            fe.stats().ild_bytes,
+            bytes_after_miss,
+            "hits bypass the ILD"
+        );
     }
 
     #[test]
@@ -374,7 +375,11 @@ mod tests {
         let mut fe = DecodeFrontend::new(cfg);
         for _ in 0..10 {
             let (s, _) = fe.supply(&rec(0, 1));
-            assert_eq!(s, SupplySource::SimpleDecoder, "no uop cache, always decode");
+            assert_eq!(
+                s,
+                SupplySource::SimpleDecoder,
+                "no uop cache, always decode"
+            );
         }
         assert_eq!(fe.stats().uop_cache_hits, 0);
     }

@@ -65,8 +65,8 @@ const ILD_MARKER_POWER: f64 = 2.0;
 // marker 0xd6, predicate marker 0xf1) and the extra decode signals.
 const ILD_PREFIX_COMPARATOR_AREA: f64 = 25.0; // x2 x8
 const ILD_PREFIX_COMPARATOR_POWER: f64 = 0.03; // x2 x8
-// Wider multiplexers in the length subunits, control select, valid
-// begin unit.
+                                               // Wider multiplexers in the length subunits, control select, valid
+                                               // begin unit.
 const ILD_MUX_WIDENING_AREA: f64 = 250.0;
 const ILD_MUX_WIDENING_POWER: f64 = 0.39;
 
@@ -111,7 +111,11 @@ pub fn ild(fs: &FeatureSet) -> IldRtl {
                 ILD_MARKER_AREA + extra_area * 0.1,
                 ILD_MARKER_POWER + extra_power * 0.1,
             ),
-            ("total", ILD_BASE_AREA + extra_area, ILD_BASE_POWER + extra_power),
+            (
+                "total",
+                ILD_BASE_AREA + extra_area,
+                ILD_BASE_POWER + extra_power,
+            ),
         ],
     }
 }
@@ -158,8 +162,7 @@ pub fn decoder_block(fs: &FeatureSet) -> DecoderRtl {
         + if msrom { MSROM_POWER } else { 0.0 }
         + 16.0 * MACRO_QUEUE_POWER_PER_BYTE
         + UOP_STRUCTS_POWER;
-    let needs_custom =
-        fs.depth() > RegisterDepth::D16 || fs.predication() == Predication::Full;
+    let needs_custom = fs.depth() > RegisterDepth::D16 || fs.predication() == Predication::Full;
     if needs_custom {
         area += SUPERSET_UOP_WIDENING_AREA;
         power += SUPERSET_UOP_WIDENING_POWER;
@@ -265,6 +268,9 @@ mod tests {
         assert_eq!(d.complex_decoders, 0);
         assert!(!d.has_msrom);
         let x = decoder_block(&FeatureSet::x86_64());
-        assert_eq!((x.simple_decoders, x.complex_decoders, x.has_msrom), (3, 1, true));
+        assert_eq!(
+            (x.simple_decoders, x.complex_decoders, x.has_msrom),
+            (3, 1, true)
+        );
     }
 }

@@ -1,0 +1,229 @@
+//! Content-addressed, on-disk cache of probe results.
+//!
+//! A probe (see [`crate::profile`]) is the expensive half of the
+//! two-fidelity scheme: compile + 48k-uop trace + predictor/cache/
+//! frontend measurement + three calibration simulations, typically tens
+//! of milliseconds per (phase, feature set) pair, times 49 x 26 pairs
+//! per full table. Every `fig*`/`table*` experiment binary needs the
+//! same pairs, so the cache makes the whole suite incremental: the
+//! first run pays, every later run — in any binary — loads.
+//!
+//! ## Keying
+//!
+//! Entries are addressed by an FNV-1a hash of everything the probe
+//! result is a pure function of:
+//!
+//! - the full [`PhaseSpec`] generation fingerprint
+//!   ([`PhaseSpec::fingerprint`]),
+//! - the feature set (display form, e.g. `x86-16D-64W-P`),
+//! - the probe parameters ([`crate::profile::PROBE_UOPS`] and the fixed
+//!   trace seed),
+//! - [`SCHEMA_VERSION`], bumped whenever the probe computation or the
+//!   [`PhaseProfile`] layout changes.
+//!
+//! A stale or corrupt file is treated as a miss and overwritten, so the
+//! cache directory can always be deleted (or versions mixed) safely.
+//! Writes go through a temp file + rename, so concurrent processes
+//! never observe torn entries.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cisa_isa::FeatureSet;
+use cisa_workloads::PhaseSpec;
+
+use crate::profile::{PhaseProfile, PROBE_UOPS};
+
+/// Version of the probe computation + serialized profile layout. Bump
+/// on any change to `probe`, `fit`, or the `PhaseProfile` fields.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Magic bytes heading every cache file.
+const FILE_MAGIC: u64 = 0xC15A_CAC4_E000_0000 | SCHEMA_VERSION as u64;
+
+/// The fixed trace seed probes use (kept in the key so a future change
+/// invalidates old entries).
+const TRACE_SEED: u64 = 0xBEEF;
+
+/// 64-bit FNV-1a over a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// On-disk profile cache rooted at one directory, with hit/miss/store
+/// counters for tests and progress reporting.
+#[derive(Debug)]
+pub struct ProfileCache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl ProfileCache {
+    /// Opens (and creates if needed) a cache rooted at `dir`. Failure
+    /// to create the directory is not fatal: the cache then misses on
+    /// every lookup and drops every store.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        let _ = std::fs::create_dir_all(&dir);
+        ProfileCache {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The content key of one (phase, feature set) probe.
+    pub fn key(spec: &PhaseSpec, fs: FeatureSet) -> u64 {
+        let ident = format!(
+            "v{} uops={} seed={:#x} fs={} | {}",
+            SCHEMA_VERSION,
+            PROBE_UOPS,
+            TRACE_SEED,
+            fs,
+            spec.fingerprint()
+        );
+        fnv1a(ident.as_bytes())
+    }
+
+    fn path_for(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.profile"))
+    }
+
+    /// Looks up a probe result. `None` on absent, stale, or corrupt
+    /// entries.
+    pub fn load(&self, spec: &PhaseSpec, fs: FeatureSet) -> Option<PhaseProfile> {
+        let res = self.read_file(&self.path_for(Self::key(spec, fs)));
+        match res {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        res
+    }
+
+    fn read_file(&self, path: &Path) -> Option<PhaseProfile> {
+        let bytes = std::fs::read(path).ok()?;
+        let expect = 8 + PhaseProfile::N_VALUES * 8;
+        if bytes.len() != expect {
+            return None;
+        }
+        let magic = u64::from_le_bytes(bytes[0..8].try_into().ok()?);
+        if magic != FILE_MAGIC {
+            return None;
+        }
+        let mut values = [0.0f64; PhaseProfile::N_VALUES];
+        for (i, v) in values.iter_mut().enumerate() {
+            let off = 8 + i * 8;
+            *v = f64::from_le_bytes(bytes[off..off + 8].try_into().ok()?);
+            if !v.is_finite() {
+                return None;
+            }
+        }
+        Some(PhaseProfile::from_values(&values))
+    }
+
+    /// Persists a probe result. Errors are swallowed (a read-only or
+    /// full disk degrades to an always-miss cache, never a failure).
+    pub fn store(&self, spec: &PhaseSpec, fs: FeatureSet, profile: &PhaseProfile) {
+        let path = self.path_for(Self::key(spec, fs));
+        let mut bytes = Vec::with_capacity(8 + PhaseProfile::N_VALUES * 8);
+        bytes.extend_from_slice(&FILE_MAGIC.to_le_bytes());
+        for v in profile.to_values() {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        // Atomic publish: write a process-unique temp file, then rename.
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let ok = std::fs::File::create(&tmp)
+            .and_then(|mut f| f.write_all(&bytes))
+            .and_then(|()| std::fs::rename(&tmp, &path));
+        if ok.is_ok() {
+            self.stores.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// `(hits, misses, stores)` since this handle was opened.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.stores.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::probe;
+    use cisa_workloads::all_phases;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cisa-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn roundtrips_profiles_exactly() {
+        let cache = ProfileCache::new(tmp_dir("roundtrip"));
+        let spec = &all_phases()[0];
+        let fs = FeatureSet::x86_64();
+        let p = probe(spec, fs);
+        assert_eq!(cache.load(spec, fs), None, "cold cache must miss");
+        cache.store(spec, fs, &p);
+        let q = cache.load(spec, fs).expect("stored entry loads");
+        assert_eq!(p, q, "bit-identical roundtrip");
+        assert_eq!(cache.stats(), (1, 1, 1));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn keys_separate_specs_and_feature_sets() {
+        let phases = all_phases();
+        let (a, b) = (&phases[0], &phases[1]);
+        let x86 = FeatureSet::x86_64();
+        let sup = FeatureSet::superset();
+        assert_ne!(ProfileCache::key(a, x86), ProfileCache::key(b, x86));
+        assert_ne!(ProfileCache::key(a, x86), ProfileCache::key(a, sup));
+        assert_eq!(ProfileCache::key(a, x86), ProfileCache::key(a, x86));
+    }
+
+    #[test]
+    fn corrupt_entries_read_as_misses() {
+        let cache = ProfileCache::new(tmp_dir("corrupt"));
+        let spec = &all_phases()[0];
+        let fs = FeatureSet::x86_64();
+        let p = probe(spec, fs);
+        cache.store(spec, fs, &p);
+        // Truncate the file.
+        let path = cache.path_for(ProfileCache::key(spec, fs));
+        std::fs::write(&path, b"garbage").unwrap();
+        assert_eq!(cache.load(spec, fs), None);
+        // A store repairs it.
+        cache.store(spec, fs, &p);
+        assert_eq!(cache.load(spec, fs), Some(p));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn values_layout_roundtrips() {
+        let spec = &all_phases()[3];
+        let p = probe(spec, FeatureSet::minimal());
+        assert_eq!(PhaseProfile::from_values(&p.to_values()), p);
+    }
+}

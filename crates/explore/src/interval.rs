@@ -9,6 +9,11 @@
 //! geometry rates, overlapped by the out-of-order window). This is the
 //! standard interval-analysis decomposition (Eyerman et al.) fitted at
 //! one reference point per semantics.
+//!
+//! Every figure downstream of the performance table (Figures 5-13, 15,
+//! Tables III-IV) rests on this model; the `fidelity` bench in
+//! `crates/bench` checks its rank correlation against the cycle
+//! simulator.
 
 use cisa_power::energy;
 use cisa_sim::{Activity, CoreConfig, ExecSemantics, SimResult};
@@ -68,10 +73,10 @@ fn cycles_per_uop(p: &PhaseProfile, ua: &MicroArch) -> f64 {
     // Functional-unit limits.
     let mul_units = (ua.int_alu / 3).max(1) as f64;
     let cpu_fu = [
-        (p.mix[0] + p.mix[1]) / 2.0,                                    // 2 mem ports
-        (p.mix[2] + p.mix[6] + p.mix[7]) / ua.int_alu as f64,           // int + branch
-        p.mix[3] * 2.0 / mul_units,                                     // mul (2-cycle occupancy)
-        (p.mix[4] + p.mix[5]) / ua.fp_alu as f64,                       // fp + vec
+        (p.mix[0] + p.mix[1]) / 2.0,                          // 2 mem ports
+        (p.mix[2] + p.mix[6] + p.mix[7]) / ua.int_alu as f64, // int + branch
+        p.mix[3] * 2.0 / mul_units,                           // mul (2-cycle occupancy)
+        (p.mix[4] + p.mix[5]) / ua.fp_alu as f64,             // fp + vec
     ]
     .into_iter()
     .fold(0.0f64, f64::max);
@@ -256,7 +261,10 @@ mod tests {
     use cisa_workloads::all_phases;
 
     fn spec(bench: &str) -> cisa_workloads::PhaseSpec {
-        all_phases().into_iter().find(|p| p.benchmark == bench).unwrap()
+        all_phases()
+            .into_iter()
+            .find(|p| p.benchmark == bench)
+            .unwrap()
     }
 
     #[test]
@@ -279,7 +287,11 @@ mod tests {
         let perf = evaluate(&p, &ua, &ref_ooo);
         let predicted_cpu = perf.cycles_per_unit / p.uops_per_unit;
         let err = (predicted_cpu - p.ref_ooo_cpu).abs() / p.ref_ooo_cpu;
-        assert!(err < 0.15, "calibration error {err} (pred {predicted_cpu} vs {})", p.ref_ooo_cpu);
+        assert!(
+            err < 0.15,
+            "calibration error {err} (pred {predicted_cpu} vs {})",
+            p.ref_ooo_cpu
+        );
     }
 
     #[test]
@@ -288,15 +300,28 @@ mod tests {
         let cfgs = all_microarchs();
         let base = cfgs
             .iter()
-            .find(|u| u.sem == ExecSemantics::OutOfOrder && u.width == 2 && u.fp_alu == 1 && u.l1_kb == 32 && u.l2_kb == 1024 && u.window.rob == 64)
+            .find(|u| {
+                u.sem == ExecSemantics::OutOfOrder
+                    && u.width == 2
+                    && u.fp_alu == 1
+                    && u.l1_kb == 32
+                    && u.l2_kb == 1024
+                    && u.window.rob == 64
+            })
             .unwrap();
-        let bigger_l2 = MicroArch { l2_kb: 2048, ..*base };
+        let bigger_l2 = MicroArch {
+            l2_kb: 2048,
+            ..*base
+        };
         let cfg = crate::profile::reference_ooo(FeatureSet::x86_64());
         let t0 = evaluate(&p, base, &cfg).cycles_per_unit;
         let t1 = evaluate(&p, &bigger_l2, &cfg).cycles_per_unit;
         assert!(t1 <= t0, "bigger L2 cannot slow mcf: {t1} vs {t0}");
 
-        let big_window = MicroArch { window: cisa_sim::WindowConfig::large(), ..*base };
+        let big_window = MicroArch {
+            window: cisa_sim::WindowConfig::large(),
+            ..*base
+        };
         let t2 = evaluate(&p, &big_window, &cfg).cycles_per_unit;
         assert!(t2 <= t0 * 1.02, "bigger window cannot slow mcf much");
     }
@@ -305,7 +330,10 @@ mod tests {
     fn energy_scales_with_cheap_cores() {
         let p = probe(&spec("bzip2"), FeatureSet::minimal());
         let cfgs = all_microarchs();
-        let little = cfgs.iter().find(|u| u.sem == ExecSemantics::InOrder && u.width == 1).unwrap();
+        let little = cfgs
+            .iter()
+            .find(|u| u.sem == ExecSemantics::InOrder && u.width == 1)
+            .unwrap();
         let big = cfgs
             .iter()
             .find(|u| u.sem == ExecSemantics::OutOfOrder && u.width == 4 && u.window.rob == 128)

@@ -8,19 +8,43 @@
 //! performance, single-thread EDP), for five system organizations
 //! (homogeneous, single-ISA heterogeneous, x86-ized fixed sets, vendor
 //! heterogeneous-ISA, fully composite).
+//!
+//! ## Module map
+//!
+//! | Module | Role |
+//! |---|---|
+//! | [`profile`] | High-fidelity probe of one (phase, feature set) pair |
+//! | [`interval`] | Analytic interval model extrapolating a probe across microarchs |
+//! | [`space`] | The 26 x 180 design space and its budgets |
+//! | [`table`] | The evaluated (phase x design point) performance table |
+//! | [`multicore`] | 4-core search: objectives, budgets, local search |
+//! | [`systems`] | The paper's five system organizations + sensitivity study |
+//! | [`runner`] | Parallel sweep execution and thread-pool sizing |
+//! | [`cache`] | Content-addressed on-disk cache of probe results |
+//!
+//! The expensive half is probing; [`runner::SweepRunner`] parallelizes
+//! it (`CISA_THREADS` override) and [`cache::ProfileCache`] persists it
+//! across runs and binaries, with results bit-identical at any thread
+//! count.
 
+#![warn(missing_docs)]
+
+pub mod cache;
 pub mod interval;
 pub mod multicore;
 pub mod profile;
+pub mod runner;
 pub mod space;
 pub mod systems;
 pub mod table;
 
+pub use cache::ProfileCache;
 pub use interval::{evaluate, PhasePerf};
 pub use multicore::{
     reference_design, search, Budget, CoreChoice, Evaluator, Objective, SearchConfig, SearchResult,
 };
-pub use profile::{probe, PhaseProfile, PROBE_UOPS};
+pub use profile::{probe, probes_run, PhaseProfile, PROBE_UOPS};
+pub use runner::{par_map, threads, SweepRunner};
 pub use space::{all_microarchs, DesignId, DesignSpace, MicroArch};
 pub use systems::{
     candidates, constrained_candidates, search_system, sensitivity_constraints, SystemKind,

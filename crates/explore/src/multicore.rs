@@ -1,6 +1,15 @@
 //! Multicore design search: objectives, budgets, schedulers, and the
 //! multi-seed local search (the paper's own results are local optima of
 //! a 102.5-trillion-point space, and so are ours).
+//!
+//! [`search`] is what every budget sweep calls: Figures 5-6 (throughput
+//! and EDP under power/area budgets), Figures 7-8 (single-thread),
+//! Figure 9 (feature-constrained searches) and Tables III-IV (the
+//! winning compositions) are all its output under different
+//! [`Objective`]/[`Budget`] pairs. The search itself is parallel —
+//! identical-core and small pools are scanned exhaustively, large pools
+//! run multi-start iterated local search over [`par_map`] — and returns
+//! the same result at any thread count.
 
 use cisa_isa::VendorIsa;
 use cisa_workloads::all_benchmarks;
@@ -9,6 +18,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::interval::PhasePerf;
 use crate::profile::reference_ooo;
+use crate::runner::{par_map, threads};
 use crate::space::{DesignId, DesignSpace};
 use crate::table::PerfTable;
 
@@ -28,7 +38,12 @@ impl CoreChoice {
         match self {
             CoreChoice::Composite(id) => space.config(*id).describe(),
             CoreChoice::Vendor(v, ua) => {
-                format!("{v} {}", space.microarchs[*ua as usize].with_fs(v.x86ized()).describe())
+                format!(
+                    "{v} {}",
+                    space.microarchs[*ua as usize]
+                        .with_fs(v.x86ized())
+                        .describe()
+                )
             }
         }
     }
@@ -181,7 +196,10 @@ impl<'a> Evaluator<'a> {
                     .iter()
                     .position(|f| *f == v.x86ized())
                     .expect("x86-ized set exists") as u16;
-                self.space.budget(DesignId { fs: fs_idx, ua: *ua })
+                self.space.budget(DesignId {
+                    fs: fs_idx,
+                    ua: *ua,
+                })
             }
         }
     }
@@ -278,8 +296,7 @@ impl<'a> Evaluator<'a> {
                         let perf = self.perf(p, &cores[perm[t]]);
                         let idle_cycles = step_time - perf.cycles_per_unit;
                         let (_, peak) = self.budget(&cores[perm[t]]);
-                        step_energy +=
-                            0.3 * peak * idle_cycles / cisa_power::CLOCK_HZ;
+                        step_energy += 0.3 * peak * idle_cycles / cisa_power::CLOCK_HZ;
                     }
                     let cost = step_energy * step_time;
                     if cost < best {
@@ -406,10 +423,30 @@ pub fn reference_design(space: &DesignSpace) -> DesignId {
 /// thread-to-core assignment space).
 pub fn permute4(mut f: impl FnMut(&[usize; 4])) {
     const PERMS: [[usize; 4]; 24] = [
-        [0, 1, 2, 3], [0, 1, 3, 2], [0, 2, 1, 3], [0, 2, 3, 1], [0, 3, 1, 2], [0, 3, 2, 1],
-        [1, 0, 2, 3], [1, 0, 3, 2], [1, 2, 0, 3], [1, 2, 3, 0], [1, 3, 0, 2], [1, 3, 2, 0],
-        [2, 0, 1, 3], [2, 0, 3, 1], [2, 1, 0, 3], [2, 1, 3, 0], [2, 3, 0, 1], [2, 3, 1, 0],
-        [3, 0, 1, 2], [3, 0, 2, 1], [3, 1, 0, 2], [3, 1, 2, 0], [3, 2, 0, 1], [3, 2, 1, 0],
+        [0, 1, 2, 3],
+        [0, 1, 3, 2],
+        [0, 2, 1, 3],
+        [0, 2, 3, 1],
+        [0, 3, 1, 2],
+        [0, 3, 2, 1],
+        [1, 0, 2, 3],
+        [1, 0, 3, 2],
+        [1, 2, 0, 3],
+        [1, 2, 3, 0],
+        [1, 3, 0, 2],
+        [1, 3, 2, 0],
+        [2, 0, 1, 3],
+        [2, 0, 3, 1],
+        [2, 1, 0, 3],
+        [2, 1, 3, 0],
+        [2, 3, 0, 1],
+        [2, 3, 1, 0],
+        [3, 0, 1, 2],
+        [3, 0, 2, 1],
+        [3, 1, 0, 2],
+        [3, 1, 2, 0],
+        [3, 2, 0, 1],
+        [3, 2, 1, 0],
     ];
     for p in &PERMS {
         f(p);
@@ -593,123 +630,191 @@ pub fn search_with_seeds(
         eval.score(cores, objective)
     };
 
-    let mut best: Option<SearchResult> = None;
-    let mut rng = SmallRng::seed_from_u64(0xD5E);
-
-    let total_seeds = 1 + config.restarts + warm_starts.len() as u32;
-    for seed in 0..total_seeds {
-        // Seed: the base seeds first, then the warm starts.
-        let base_seeds = (1 + config.restarts) as usize;
-        let mut cores: [CoreChoice; 4] = if (seed as usize) >= base_seeds {
-            warm_starts[seed as usize - base_seeds]
-        } else if config.identical {
-            // Seed homogeneous chips from the cheap end so tight
-            // budgets have a feasible start; the hill climb scans the
-            // whole pool anyway.
-            let mut by_power = pool.clone();
-            by_power.sort_by(|a, b| {
-                eval.budget(a)
-                    .1
-                    .partial_cmp(&eval.budget(b).1)
-                    .expect("finite power")
-            });
-            [by_power[seed as usize % by_power.len().min(3)]; 4]
-        } else if seed == 0 {
-            // Cheapest feasible base, then greedy upgrades below.
-            let cheapest = *pool
-                .iter()
-                .min_by(|a, b| {
-                    eval.budget(a)
-                        .1
-                        .partial_cmp(&eval.budget(b).1)
-                        .expect("finite")
-                })
-                .expect("pool non-empty");
-            [cheapest; 4]
-        } else if seed == 1 {
-            // Best homogeneous-feasible chip: score four copies of every
-            // pool core that fits and start from the winner. This makes
-            // the composite search at least as good as the best
-            // homogeneous design of any feature set.
-            let mut best_hom: Option<(CoreChoice, f64)> = None;
-            for c in &pool {
-                let chip = [*c; 4];
-                if !eval.feasible(&chip, budget, objective) {
-                    continue;
-                }
-                let s = eval.score(&chip, objective);
-                if best_hom.map_or(true, |(_, bs)| s > bs) {
-                    best_hom = Some((*c, s));
-                }
+    // Identical mode is exact by construction: one pass over the pool
+    // scores every homogeneous chip.
+    if config.identical {
+        let mut best: Option<SearchResult> = None;
+        for c in &pool {
+            let chip = [*c; 4];
+            let s = score_of(&chip);
+            if s.is_finite() && best.as_ref().is_none_or(|b| s > b.score) {
+                best = Some(SearchResult {
+                    cores: chip,
+                    score: s,
+                });
             }
-            match best_hom {
-                Some((c, _)) => [c; 4],
-                None => [pool[0]; 4],
-            }
-        } else {
-            let mut c = [pool[0]; 4];
-            for slot in &mut c {
-                *slot = pool[rng.gen_range(0..pool.len())];
-            }
-            if !eval.feasible(&c, budget, objective) {
-                let cheapest = *pool
-                    .iter()
-                    .min_by(|a, b| {
-                        eval.budget(a)
-                            .1
-                            .partial_cmp(&eval.budget(b).1)
-                            .expect("finite")
-                    })
-                    .expect("pool non-empty");
-                c = [cheapest; 4];
-            }
-            c
-        };
-
-        if !eval.feasible(&cores, budget, objective) {
-            continue;
         }
-        let mut cur = score_of(&cores);
+        return best;
+    }
 
-        for _ in 0..config.max_passes {
-            let mut improved = false;
-            if config.identical {
-                for cand in &pool {
-                    let trial = [*cand; 4];
-                    let s = score_of(&trial);
-                    if s > cur {
-                        cur = s;
-                        cores = trial;
-                        improved = true;
-                    }
-                }
-            } else {
-                for slot in 0..4 {
-                    let mut best_slot = cores[slot];
-                    let mut best_score = cur;
-                    for cand in &pool {
-                        let mut trial = cores;
-                        trial[slot] = *cand;
-                        let s = score_of(&trial);
-                        if s > best_score {
-                            best_score = s;
-                            best_slot = *cand;
+    // Small pools: exhaustive multiset enumeration, parallel over the
+    // first slot. This is the true optimum (the pruning above keeps the
+    // whole candidate set when it is this small), so local-search
+    // quality is not a concern here.
+    let n = pool.len();
+    if n * (n + 1) * (n + 2) * (n + 3) / 24 <= 20_000 {
+        let firsts: Vec<usize> = (0..n).collect();
+        let per_first = par_map(&firsts, threads(), |&a| {
+            let mut local: Option<SearchResult> = None;
+            for b in a..n {
+                for c in b..n {
+                    for d in c..n {
+                        let chip = [pool[a], pool[b], pool[c], pool[d]];
+                        let s = score_of(&chip);
+                        if s.is_finite() && local.as_ref().is_none_or(|l| s > l.score) {
+                            local = Some(SearchResult {
+                                cores: chip,
+                                score: s,
+                            });
                         }
                     }
-                    if best_score > cur {
-                        cores[slot] = best_slot;
-                        cur = best_score;
-                        improved = true;
+                }
+            }
+            local
+        });
+        // Order-preserving reduction: strictly-greater wins, so ties go
+        // to the earliest enumeration index at any thread count.
+        let mut best: Option<SearchResult> = None;
+        for r in per_first.into_iter().flatten() {
+            if best.as_ref().is_none_or(|b| r.score > b.score) {
+                best = Some(r);
+            }
+        }
+        for w in warm_starts {
+            let s = score_of(w);
+            if s.is_finite() && best.as_ref().is_none_or(|b| s > b.score) {
+                best = Some(SearchResult {
+                    cores: *w,
+                    score: s,
+                });
+            }
+        }
+        return best;
+    }
+
+    // Large pools: parallel multi-start iterated local search. Every
+    // start is deterministic (random starts derive a private RNG from
+    // their start index), and the reduction prefers the earliest start
+    // on ties, so the result is identical at any thread count.
+    let cheapest = *pool
+        .iter()
+        .min_by(|a, b| {
+            eval.budget(a)
+                .1
+                .partial_cmp(&eval.budget(b).1)
+                .expect("finite")
+        })
+        .expect("pool non-empty");
+    // Best homogeneous-feasible chip: makes the search at least as good
+    // as the best homogeneous design of any feature set.
+    let best_hom = pool
+        .iter()
+        .map(|c| ([*c; 4], score_of(&[*c; 4])))
+        .filter(|(_, s)| s.is_finite())
+        .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+        .map(|(chip, _)| chip);
+
+    /// How one multi-start attempt begins.
+    enum Start {
+        /// Four copies of the cheapest core (greedy upgrades follow).
+        Cheapest,
+        /// The best homogeneous chip.
+        BestHom,
+        /// A random chip from a private seeded RNG.
+        Random(u64),
+        /// A caller-provided warm-start chip.
+        Warm(usize),
+    }
+    let mut starts: Vec<Start> = vec![Start::Cheapest, Start::BestHom];
+    for r in 0..config.restarts {
+        starts.push(Start::Random(r as u64));
+    }
+    for w in 0..warm_starts.len() {
+        starts.push(Start::Warm(w));
+    }
+
+    let climb = |cores: &mut [CoreChoice; 4], cur: &mut f64| {
+        for _ in 0..config.max_passes {
+            let mut improved = false;
+            for slot in 0..4 {
+                let mut best_slot = cores[slot];
+                let mut best_score = *cur;
+                for cand in &pool {
+                    let mut trial = *cores;
+                    trial[slot] = *cand;
+                    let s = score_of(&trial);
+                    if s > best_score {
+                        best_score = s;
+                        best_slot = *cand;
                     }
+                }
+                if best_score > *cur {
+                    cores[slot] = best_slot;
+                    *cur = best_score;
+                    improved = true;
                 }
             }
             if !improved {
                 break;
             }
         }
+    };
 
-        if best.as_ref().map_or(true, |b| cur > b.score) && cur.is_finite() {
-            best = Some(SearchResult { cores, score: cur });
+    /// Perturbation rounds per start (escapes single-slot local optima;
+    /// each round re-climbs from a 2-slot random kick).
+    const ILS_KICKS: usize = 6;
+
+    let results = par_map(&starts, threads(), |start| {
+        let (mut cores, mut rng) = match start {
+            Start::Cheapest => ([cheapest; 4], SmallRng::seed_from_u64(0xD5E)),
+            Start::BestHom => (
+                best_hom.unwrap_or([cheapest; 4]),
+                SmallRng::seed_from_u64(0xD5E ^ 1),
+            ),
+            Start::Random(r) => {
+                let mut rng = SmallRng::seed_from_u64(0xD5E ^ (r + 2).wrapping_mul(0x9E37_79B9));
+                let mut c = [cheapest; 4];
+                for slot in &mut c {
+                    *slot = pool[rng.gen_range(0..pool.len())];
+                }
+                if !eval.feasible(&c, budget, objective) {
+                    c = [cheapest; 4];
+                }
+                (c, rng)
+            }
+            Start::Warm(w) => (
+                warm_starts[*w],
+                SmallRng::seed_from_u64(0xD5E ^ (*w as u64 + 100).wrapping_mul(0x9E37_79B9)),
+            ),
+        };
+        if !eval.feasible(&cores, budget, objective) {
+            return None;
+        }
+        let mut cur = score_of(&cores);
+        climb(&mut cores, &mut cur);
+        // Iterated local search: kick two slots, re-climb, keep wins.
+        for _ in 0..ILS_KICKS {
+            let mut trial = cores;
+            trial[rng.gen_range(0..4usize)] = pool[rng.gen_range(0..pool.len())];
+            trial[rng.gen_range(0..4usize)] = pool[rng.gen_range(0..pool.len())];
+            if !eval.feasible(&trial, budget, objective) {
+                continue;
+            }
+            let mut trial_score = score_of(&trial);
+            climb(&mut trial, &mut trial_score);
+            if trial_score > cur {
+                cores = trial;
+                cur = trial_score;
+            }
+        }
+        cur.is_finite()
+            .then_some(SearchResult { cores, score: cur })
+    });
+
+    let mut best: Option<SearchResult> = None;
+    for r in results.into_iter().flatten() {
+        if best.as_ref().is_none_or(|b| r.score > b.score) {
+            best = Some(r);
         }
     }
     best
@@ -727,10 +832,7 @@ mod tests {
         static CELL: OnceLock<(DesignSpace, PerfTable)> = OnceLock::new();
         CELL.get_or_init(|| {
             let space = DesignSpace::new();
-            let phases: Vec<_> = all_phases()
-                .into_iter()
-                .filter(|p| p.index == 0)
-                .collect();
+            let phases: Vec<_> = all_phases().into_iter().filter(|p| p.index == 0).collect();
             let table = PerfTable::build_for_phases(&space, &phases);
             (space, table)
         })
@@ -750,8 +852,14 @@ mod tests {
             restarts: 1,
             ..Default::default()
         };
-        let r = search(&eval, &cands, Objective::Throughput, Budget::PeakPower(40.0), &cfg)
-            .expect("feasible");
+        let r = search(
+            &eval,
+            &cands,
+            Objective::Throughput,
+            Budget::PeakPower(40.0),
+            &cfg,
+        )
+        .expect("feasible");
         let total: f64 = r.cores.iter().map(|c| eval.budget(c).1).sum();
         assert!(total <= 40.0, "power {total} over budget");
         assert!(r.score > 0.0);
@@ -767,12 +875,24 @@ mod tests {
             restarts: 1,
             ..Default::default()
         };
-        let tight = search(&eval, &cands, Objective::Throughput, Budget::PeakPower(20.0), &cfg)
-            .expect("feasible")
-            .score;
-        let loose = search(&eval, &cands, Objective::Throughput, Budget::PeakPower(60.0), &cfg)
-            .expect("feasible")
-            .score;
+        let tight = search(
+            &eval,
+            &cands,
+            Objective::Throughput,
+            Budget::PeakPower(20.0),
+            &cfg,
+        )
+        .expect("feasible")
+        .score;
+        let loose = search(
+            &eval,
+            &cands,
+            Objective::Throughput,
+            Budget::PeakPower(60.0),
+            &cfg,
+        )
+        .expect("feasible")
+        .score;
         assert!(
             loose >= tight * 0.999,
             "more budget can't hurt: {tight} -> {loose}"
@@ -832,9 +952,18 @@ mod tests {
             pool_cap: 50,
             ..Default::default()
         };
-        let r = search(&eval, &cands, Objective::Throughput, Budget::PeakPower(40.0), &cfg)
-            .expect("feasible");
-        assert!(r.cores.iter().all(|c| *c == r.cores[0]), "must be homogeneous");
+        let r = search(
+            &eval,
+            &cands,
+            Objective::Throughput,
+            Budget::PeakPower(40.0),
+            &cfg,
+        )
+        .expect("feasible");
+        assert!(
+            r.cores.iter().all(|c| *c == r.cores[0]),
+            "must be homogeneous"
+        );
     }
 
     #[test]
@@ -848,8 +977,14 @@ mod tests {
         };
         // 10W: no single core may exceed it, but four such cores are
         // allowed (only one is on at a time).
-        let r = search(&eval, &cands, Objective::SingleThread, Budget::PeakPower(10.0), &cfg)
-            .expect("feasible");
+        let r = search(
+            &eval,
+            &cands,
+            Objective::SingleThread,
+            Budget::PeakPower(10.0),
+            &cfg,
+        )
+        .expect("feasible");
         for c in &r.cores {
             assert!(eval.budget(c).1 <= 10.0);
         }
@@ -906,15 +1041,31 @@ mod debug_tests {
         let table = PerfTable::build_for_phases(&space, &phases);
         let eval = Evaluator::new(&space, &table, 8);
         let cands: Vec<CoreChoice> = space.ids().map(CoreChoice::Composite).collect();
-        let min_power = cands.iter().map(|c| eval.budget(c).1).fold(f64::INFINITY, f64::min);
+        let min_power = cands
+            .iter()
+            .map(|c| eval.budget(c).1)
+            .fold(f64::INFINITY, f64::min);
         println!("min core power: {min_power}");
-        let pool: Vec<_> = cands.iter().filter(|c| eval.budget(c).1 + 3.0*min_power <= 40.0).collect();
+        let pool: Vec<_> = cands
+            .iter()
+            .filter(|c| eval.budget(c).1 + 3.0 * min_power <= 40.0)
+            .collect();
         println!("pool size at 40W: {}", pool.len());
-        let cheapest = cands.iter().min_by(|a,b| eval.budget(a).1.partial_cmp(&eval.budget(b).1).unwrap()).unwrap();
+        let cheapest = cands
+            .iter()
+            .min_by(|a, b| eval.budget(a).1.partial_cmp(&eval.budget(b).1).unwrap())
+            .unwrap();
         let cores = [*cheapest; 4];
-        println!("cheapest x4 feasible: {}", eval.feasible(&cores, Budget::PeakPower(40.0), Objective::Throughput));
+        println!(
+            "cheapest x4 feasible: {}",
+            eval.feasible(&cores, Budget::PeakPower(40.0), Objective::Throughput)
+        );
         println!("score: {}", eval.score(&cores, Objective::Throughput));
-        println!("n_phases {} bench_phases {:?}", table.n_phases, eval.bench_phases.len());
+        println!(
+            "n_phases {} bench_phases {:?}",
+            table.n_phases,
+            eval.bench_phases.len()
+        );
         println!("combos: {:?}", eval.combos);
     }
 }
@@ -944,7 +1095,11 @@ mod oracle_tests {
             .step_by(401)
             .map(CoreChoice::Composite)
             .collect();
-        assert!(pool.len() >= 8 && pool.len() <= 16, "pool size {}", pool.len());
+        assert!(
+            pool.len() >= 8 && pool.len() <= 16,
+            "pool size {}",
+            pool.len()
+        );
 
         let budget = Budget::PeakPower(40.0);
         let objective = Objective::Throughput;
@@ -978,7 +1133,11 @@ mod oracle_tests {
     #[test]
     fn vendor_migration_is_costlier_than_composite() {
         let space = DesignSpace::new();
-        let phases: Vec<_> = all_phases().into_iter().filter(|p| p.index == 0).take(2).collect();
+        let phases: Vec<_> = all_phases()
+            .into_iter()
+            .filter(|p| p.index == 0)
+            .take(2)
+            .collect();
         let table = PerfTable::build_for_phases(&space, &phases);
         let eval = Evaluator::new(&space, &table, 2);
         let a = CoreChoice::Vendor(cisa_isa::VendorIsa::Thumb, 0);

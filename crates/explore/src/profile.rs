@@ -62,6 +62,100 @@ pub struct PhaseProfile {
     pub ref_io_cpu: f64,
 }
 
+impl PhaseProfile {
+    /// Number of `f64` values in the fixed serialization layout.
+    pub const N_VALUES: usize = 31;
+
+    /// Flattens the profile into its fixed value layout (the on-disk
+    /// format used by [`crate::cache::ProfileCache`] and the perf
+    /// table). Order is the struct's declaration order, arrays
+    /// row-major.
+    pub fn to_values(&self) -> [f64; Self::N_VALUES] {
+        let mut v = [0.0; Self::N_VALUES];
+        let mut i = 0;
+        let mut push = |x: f64| {
+            v[i] = x;
+            i += 1;
+        };
+        push(self.uops_per_unit);
+        push(self.macro_per_uop);
+        push(self.avg_macro_len);
+        push(self.code_bytes);
+        self.mix.iter().for_each(|&x| push(x));
+        self.mispredict_per_uop.iter().for_each(|&x| push(x));
+        self.l1d_miss_per_uop.iter().for_each(|&x| push(x));
+        self.l2_miss_per_uop.iter().flatten().for_each(|&x| push(x));
+        self.l1i_miss_per_uop.iter().for_each(|&x| push(x));
+        push(self.uopc_hit_rate);
+        push(self.fwd_per_uop);
+        push(self.ilp);
+        push(self.mem_overlap);
+        push(self.io_stall_scale);
+        push(self.ref_ooo_cpu);
+        push(self.ref_ooo_large_cpu);
+        push(self.ref_io_cpu);
+        debug_assert_eq!(i, Self::N_VALUES);
+        v
+    }
+
+    /// Inverse of [`PhaseProfile::to_values`].
+    pub fn from_values(v: &[f64; Self::N_VALUES]) -> Self {
+        let mut i = 0;
+        let mut pop = || {
+            let x = v[i];
+            i += 1;
+            x
+        };
+        let uops_per_unit = pop();
+        let macro_per_uop = pop();
+        let avg_macro_len = pop();
+        let code_bytes = pop();
+        let mut mix = [0.0; 8];
+        mix.iter_mut().for_each(|x| *x = pop());
+        let mut mispredict_per_uop = [0.0; 3];
+        mispredict_per_uop.iter_mut().for_each(|x| *x = pop());
+        let mut l1d_miss_per_uop = [0.0; 2];
+        l1d_miss_per_uop.iter_mut().for_each(|x| *x = pop());
+        let mut l2_miss_per_uop = [[0.0; 2]; 2];
+        l2_miss_per_uop
+            .iter_mut()
+            .flatten()
+            .for_each(|x| *x = pop());
+        let mut l1i_miss_per_uop = [0.0; 2];
+        l1i_miss_per_uop.iter_mut().for_each(|x| *x = pop());
+        PhaseProfile {
+            uops_per_unit,
+            macro_per_uop,
+            avg_macro_len,
+            code_bytes,
+            mix,
+            mispredict_per_uop,
+            l1d_miss_per_uop,
+            l2_miss_per_uop,
+            l1i_miss_per_uop,
+            uopc_hit_rate: pop(),
+            fwd_per_uop: pop(),
+            ilp: pop(),
+            mem_overlap: pop(),
+            io_stall_scale: pop(),
+            ref_ooo_cpu: pop(),
+            ref_ooo_large_cpu: pop(),
+            ref_io_cpu: pop(),
+        }
+    }
+}
+
+/// Count of real probes executed by this process (cache hits do not
+/// count). Tests use this to assert that a warm cache re-runs nothing.
+static PROBES_RUN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Number of full probes (compile + trace + calibrate) this process has
+/// executed so far. Monotonically increasing; cache hits leave it
+/// unchanged.
+pub fn probes_run() -> u64 {
+    PROBES_RUN.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Index of a micro-op class in [`PhaseProfile::mix`].
 pub fn mix_idx(kind: MicroOpKind) -> usize {
     match kind {
@@ -146,6 +240,7 @@ pub fn probe(spec: &PhaseSpec, fs: FeatureSet) -> PhaseProfile {
 /// Probe from already-compiled code (used when the caller also needs
 /// the code).
 pub fn probe_compiled(spec: &PhaseSpec, code: &CompiledCode) -> PhaseProfile {
+    PROBES_RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let fs = code.fs;
     let params = TraceParams {
         max_uops: PROBE_UOPS,
@@ -244,7 +339,10 @@ pub fn probe_compiled(spec: &PhaseSpec, code: &CompiledCode) -> PhaseProfile {
 
     // Reference cycle simulations for calibration.
     let ooo_res = simulate(&reference_ooo(fs), TraceGenerator::new(code, spec, params));
-    let ooo_large_res = simulate(&reference_ooo_large(fs), TraceGenerator::new(code, spec, params));
+    let ooo_large_res = simulate(
+        &reference_ooo_large(fs),
+        TraceGenerator::new(code, spec, params),
+    );
     let io_res = simulate(&reference_io(fs), TraceGenerator::new(code, spec, params));
     let ref_ooo_cpu = ooo_res.cycles as f64 / n;
     let ref_ooo_large_cpu = ooo_large_res.cycles as f64 / n;
@@ -279,7 +377,10 @@ mod tests {
     use cisa_workloads::all_phases;
 
     fn spec(bench: &str) -> PhaseSpec {
-        all_phases().into_iter().find(|p| p.benchmark == bench).unwrap()
+        all_phases()
+            .into_iter()
+            .find(|p| p.benchmark == bench)
+            .unwrap()
     }
 
     #[test]
@@ -288,8 +389,15 @@ mod tests {
         let mix_sum: f64 = p.mix.iter().sum();
         assert!((mix_sum - 1.0).abs() < 1e-9);
         assert!(p.uops_per_unit > 0.0);
-        assert!(p.ref_ooo_cpu > 0.3 && p.ref_ooo_cpu < 40.0, "cpu {}", p.ref_ooo_cpu);
-        assert!(p.ref_io_cpu >= p.ref_ooo_cpu * 0.9, "in-order can't be much faster");
+        assert!(
+            p.ref_ooo_cpu > 0.3 && p.ref_ooo_cpu < 40.0,
+            "cpu {}",
+            p.ref_ooo_cpu
+        );
+        assert!(
+            p.ref_io_cpu >= p.ref_ooo_cpu * 0.9,
+            "in-order can't be much faster"
+        );
         assert!((0.0..=1.0).contains(&p.uopc_hit_rate));
     }
 
@@ -338,6 +446,9 @@ mod tests {
     #[test]
     fn probes_are_deterministic() {
         let s = spec("milc");
-        assert_eq!(probe(&s, FeatureSet::x86_64()), probe(&s, FeatureSet::x86_64()));
+        assert_eq!(
+            probe(&s, FeatureSet::x86_64()),
+            probe(&s, FeatureSet::x86_64())
+        );
     }
 }

@@ -1,0 +1,244 @@
+//! Shared sweep execution: thread-pool sizing, deterministic parallel
+//! map, and cached probing.
+//!
+//! Every (phase, feature set) probe and every interval-model evaluation
+//! is independent — the sweep is embarrassingly parallel, exactly the
+//! shape the paper exploited across XSEDE nodes. This module gives the
+//! whole workspace one way to run such sweeps:
+//!
+//! - [`threads`] — worker count, overridable with the `CISA_THREADS`
+//!   environment variable (`CISA_THREADS=1` forces serial execution);
+//! - [`par_map`] — a scoped-thread parallel map whose output order (and
+//!   therefore every downstream result) is **identical at any thread
+//!   count**;
+//! - [`SweepRunner`] — the object the experiment binaries in
+//!   `crates/bench` share: it owns the thread budget and an optional
+//!   [`ProfileCache`], so probes are looked up before they are re-run
+//!   and results persist across runs *and across binaries*.
+//!
+//! The build dependency budget is zero: parallelism is `std::thread`
+//! scoped threads with an atomic work queue, not an external pool.
+
+use std::cell::Cell;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cisa_isa::FeatureSet;
+use cisa_workloads::PhaseSpec;
+
+use crate::cache::ProfileCache;
+use crate::profile::{probe, PhaseProfile};
+
+thread_local! {
+    /// Set inside `par_map` workers so nested sweeps degrade to serial
+    /// instead of oversubscribing (threads^2 explosion).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The worker count sweeps use: the `CISA_THREADS` environment variable
+/// if set to a positive integer, otherwise the machine's available
+/// parallelism. Always at least 1.
+pub fn threads() -> usize {
+    if let Ok(v) = std::env::var("CISA_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parallel map with deterministic output order: `out[i] == f(&items[i])`
+/// exactly as a serial loop would produce, regardless of worker count
+/// or scheduling. Work is distributed by an atomic index queue, so
+/// irregular task costs balance automatically.
+///
+/// Falls back to a plain serial loop when `n_threads <= 1`, when the
+/// input is tiny, or when called from inside another `par_map` worker
+/// (nested sweeps must not multiply the thread count).
+pub fn par_map<T, U, F>(items: &[T], n_threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = n_threads.min(n).max(1);
+    if workers == 1 || n <= 1 || IN_WORKER.with(|w| w.get()) {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut parts: Vec<Vec<(usize, U)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_WORKER.with(|w| w.set(true));
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    IN_WORKER.with(|w| w.set(false));
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("sweep worker must not panic"));
+        }
+    });
+
+    // Deterministic merge: results keyed by input index.
+    let mut indexed: Vec<(usize, U)> = parts.into_iter().flatten().collect();
+    indexed.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(indexed.len(), n);
+    indexed.into_iter().map(|(_, u)| u).collect()
+}
+
+/// The shared sweep executor: thread budget + optional probe cache.
+///
+/// Experiment binaries get one from [`SweepRunner::from_env`] (threads
+/// from `CISA_THREADS`, cache under the given results directory) and
+/// pass it to [`crate::table::PerfTable::load_or_build_with`]; library
+/// code that just needs parallelism can use [`SweepRunner::serial`] or
+/// [`par_map`] directly.
+#[derive(Debug)]
+pub struct SweepRunner {
+    n_threads: usize,
+    cache: Option<ProfileCache>,
+}
+
+impl SweepRunner {
+    /// A runner with an explicit thread count and no cache.
+    pub fn new(n_threads: usize) -> Self {
+        SweepRunner {
+            n_threads: n_threads.max(1),
+            cache: None,
+        }
+    }
+
+    /// A single-threaded, uncached runner (the reference behaviour).
+    pub fn serial() -> Self {
+        SweepRunner::new(1)
+    }
+
+    /// The standard experiment runner: thread count from `CISA_THREADS`
+    /// (default: all cores), probe cache in `cache_dir`.
+    pub fn from_env(cache_dir: impl Into<PathBuf>) -> Self {
+        SweepRunner::new(threads()).with_cache(ProfileCache::new(cache_dir))
+    }
+
+    /// Attaches a probe cache.
+    pub fn with_cache(mut self, cache: ProfileCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The worker count this runner uses.
+    pub fn threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&ProfileCache> {
+        self.cache.as_ref()
+    }
+
+    /// Order-preserving parallel map on this runner's thread budget.
+    pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        par_map(items, self.n_threads, f)
+    }
+
+    /// Probes one (phase, feature set) pair through the cache: load on
+    /// hit, probe-and-store on miss. Without a cache this is a plain
+    /// [`probe`].
+    pub fn probe(&self, spec: &PhaseSpec, fs: FeatureSet) -> PhaseProfile {
+        if let Some(cache) = &self.cache {
+            if let Some(p) = cache.load(spec, fs) {
+                return p;
+            }
+            let p = probe(spec, fs);
+            cache.store(spec, fs, &p);
+            p
+        } else {
+            probe(spec, fs)
+        }
+    }
+
+    /// Probes the full `phases` x `feature_sets` grid in parallel.
+    /// Output is row-major (`grid[p * feature_sets.len() + f]`) and
+    /// identical at any thread count.
+    pub fn profile_grid(
+        &self,
+        phases: &[PhaseSpec],
+        feature_sets: &[FeatureSet],
+    ) -> Vec<PhaseProfile> {
+        let pairs: Vec<(usize, usize)> = (0..phases.len())
+            .flat_map(|p| (0..feature_sets.len()).map(move |f| (p, f)))
+            .collect();
+        self.map(&pairs, |&(p, f)| self.probe(&phases[p], feature_sets[f]))
+    }
+}
+
+impl Default for SweepRunner {
+    /// A cacheless runner on the `CISA_THREADS`/all-cores budget.
+    fn default() -> Self {
+        SweepRunner::new(threads())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..997).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for t in [1, 2, 3, 8] {
+            assert_eq!(par_map(&items, t, |x| x * x + 1), serial, "{t} threads");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_degenerate_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(par_map(&empty, 4, |x| x + 1), Vec::<u32>::new());
+        assert_eq!(par_map(&[7u32], 4, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn nested_par_map_stays_correct() {
+        let outer: Vec<u32> = (0..8).collect();
+        let got = par_map(&outer, 4, |&o| {
+            let inner: Vec<u32> = (0..16).collect();
+            par_map(&inner, 4, |&i| o * 100 + i).iter().sum::<u32>()
+        });
+        let want: Vec<u32> = outer
+            .iter()
+            .map(|&o| (0..16).map(|i| o * 100 + i).sum::<u32>())
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn runner_threads_are_positive() {
+        assert!(SweepRunner::default().threads() >= 1);
+        assert_eq!(SweepRunner::new(0).threads(), 1);
+        assert_eq!(SweepRunner::serial().threads(), 1);
+        assert!(threads() >= 1);
+    }
+}

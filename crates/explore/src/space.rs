@@ -80,10 +80,25 @@ pub fn all_microarchs() -> Vec<MicroArch> {
     let mut out = Vec::with_capacity(180);
     for sem in [ExecSemantics::InOrder, ExecSemantics::OutOfOrder] {
         let windows: &[WindowConfig] = match sem {
-            ExecSemantics::InOrder => &[WindowConfig { iq: 32, rob: 64, prf_int: 64, prf_fp: 16 }],
+            ExecSemantics::InOrder => &[WindowConfig {
+                iq: 32,
+                rob: 64,
+                prf_int: 64,
+                prf_fp: 16,
+            }],
             ExecSemantics::OutOfOrder => &[
-                WindowConfig { iq: 32, rob: 64, prf_int: 96, prf_fp: 64 },
-                WindowConfig { iq: 64, rob: 128, prf_int: 192, prf_fp: 160 },
+                WindowConfig {
+                    iq: 32,
+                    rob: 64,
+                    prf_int: 96,
+                    prf_fp: 64,
+                },
+                WindowConfig {
+                    iq: 64,
+                    rob: 128,
+                    prf_int: 192,
+                    prf_fp: 160,
+                },
             ],
         };
         for &window in windows {
@@ -198,7 +213,11 @@ mod tests {
 
     #[test]
     fn exactly_180_microarchs() {
-        assert_eq!(all_microarchs().len(), 180, "the paper's 180 configurations");
+        assert_eq!(
+            all_microarchs().len(),
+            180,
+            "the paper's 180 configurations"
+        );
     }
 
     #[test]
@@ -212,9 +231,17 @@ mod tests {
     fn budget_envelope_matches_paper() {
         // Paper: 4.8W..23.4W peak power, 9.4..28.6 mm^2 area.
         let space = DesignSpace::new();
-        let min_p = space.budgets.iter().map(|b| b.1).fold(f64::INFINITY, f64::min);
+        let min_p = space
+            .budgets
+            .iter()
+            .map(|b| b.1)
+            .fold(f64::INFINITY, f64::min);
         let max_p = space.budgets.iter().map(|b| b.1).fold(0.0f64, f64::max);
-        let min_a = space.budgets.iter().map(|b| b.0).fold(f64::INFINITY, f64::min);
+        let min_a = space
+            .budgets
+            .iter()
+            .map(|b| b.0)
+            .fold(f64::INFINITY, f64::min);
         let max_a = space.budgets.iter().map(|b| b.0).fold(0.0f64, f64::max);
         assert!((min_p - 4.8).abs() < 0.9, "min power {min_p}");
         assert!((max_p - 23.4).abs() < 2.2, "max power {max_p}");
@@ -229,7 +256,9 @@ mod tests {
             .filter(|m| m.sem == ExecSemantics::InOrder)
             .collect();
         assert_eq!(io.len(), 60);
-        assert!(io.iter().all(|m| m.window.rob == 64 && m.window.prf_int == 64));
+        assert!(io
+            .iter()
+            .all(|m| m.window.rob == 64 && m.window.prf_int == 64));
     }
 
     #[test]

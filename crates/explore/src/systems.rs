@@ -122,13 +122,16 @@ pub fn search_system(
     // The full composite space is a superset of the fixed-set and
     // single-ISA spaces, but a 4,680-candidate local search can get
     // stuck below their optima. Warm-start from their results so the
-    // composite search dominates its subsets by construction.
-    let mut warm = Vec::new();
-    for sub in [SystemKind::X86izedFixed, SystemKind::SingleIsaHetero] {
-        if let Some(r) = search_system(eval, sub, objective, budget, config) {
-            warm.push(r.cores);
-        }
-    }
+    // composite search dominates its subsets by construction. The two
+    // sub-searches are independent, so they run as one parallel sweep.
+    let subs = [SystemKind::X86izedFixed, SystemKind::SingleIsaHetero];
+    let warm: Vec<[CoreChoice; 4]> =
+        crate::runner::par_map(&subs, crate::runner::threads(), |&sub| {
+            search_system(eval, sub, objective, budget, config).map(|r| r.cores)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     search_with_seeds(eval, &cands, objective, budget, &cfg, &warm)
 }
 
@@ -137,15 +140,33 @@ pub fn sensitivity_constraints() -> Vec<(String, FeatureConstraint)> {
     use cisa_isa::{Complexity, Predication, RegisterDepth, RegisterWidth};
     let mut out = Vec::new();
     for d in RegisterDepth::ALL {
-        out.push((format!("depth<={}", d.count()), FeatureConstraint::DepthAtMost(d)));
+        out.push((
+            format!("depth<={}", d.count()),
+            FeatureConstraint::DepthAtMost(d),
+        ));
     }
     for w in RegisterWidth::ALL {
-        out.push((format!("{}-bit only", w.bits()), FeatureConstraint::WidthExactly(w)));
+        out.push((
+            format!("{}-bit only", w.bits()),
+            FeatureConstraint::WidthExactly(w),
+        ));
     }
-    out.push(("microx86 only".into(), FeatureConstraint::ComplexityExactly(Complexity::MicroX86)));
-    out.push(("x86 only".into(), FeatureConstraint::ComplexityExactly(Complexity::X86)));
-    out.push(("partial pred only".into(), FeatureConstraint::PredicationExactly(Predication::Partial)));
-    out.push(("full pred only".into(), FeatureConstraint::PredicationExactly(Predication::Full)));
+    out.push((
+        "microx86 only".into(),
+        FeatureConstraint::ComplexityExactly(Complexity::MicroX86),
+    ));
+    out.push((
+        "x86 only".into(),
+        FeatureConstraint::ComplexityExactly(Complexity::X86),
+    ));
+    out.push((
+        "partial pred only".into(),
+        FeatureConstraint::PredicationExactly(Predication::Partial),
+    ));
+    out.push((
+        "full pred only".into(),
+        FeatureConstraint::PredicationExactly(Predication::Full),
+    ));
     out
 }
 
@@ -184,8 +205,10 @@ mod tests {
     fn constrained_candidates_filter() {
         let (space, _) = fixtures();
         use cisa_isa::{Complexity, FeatureConstraint};
-        let micro =
-            constrained_candidates(space, &FeatureConstraint::ComplexityExactly(Complexity::MicroX86));
+        let micro = constrained_candidates(
+            space,
+            &FeatureConstraint::ComplexityExactly(Complexity::MicroX86),
+        );
         assert_eq!(micro.len(), 13 * 180);
     }
 
@@ -241,12 +264,24 @@ mod tests {
             ..Default::default()
         };
         let budget = Budget::Area(64.0);
-        let xi = search_system(&eval, SystemKind::X86izedFixed, Objective::Throughput, budget, &cfg)
-            .expect("feasible")
-            .score;
-        let vh = search_system(&eval, SystemKind::VendorHetero, Objective::Throughput, budget, &cfg)
-            .expect("feasible")
-            .score;
+        let xi = search_system(
+            &eval,
+            SystemKind::X86izedFixed,
+            Objective::Throughput,
+            budget,
+            &cfg,
+        )
+        .expect("feasible")
+        .score;
+        let vh = search_system(
+            &eval,
+            SystemKind::VendorHetero,
+            Objective::Throughput,
+            budget,
+            &cfg,
+        )
+        .expect("feasible")
+        .score;
         assert!(
             xi > vh * 0.85,
             "x86-ized {xi} should be within 15% of vendor {vh}"

@@ -11,6 +11,12 @@
 //!
 //! Tables can be cached to disk in a simple versioned binary format so
 //! the experiment harness pays the build cost once.
+//!
+//! The table is the substrate of every system-level experiment:
+//! Figures 5-13 and 15 and Tables III-IV all read their
+//! (phase, design) performance numbers from here. Builds run on a
+//! [`SweepRunner`], so they parallelize across `CISA_THREADS` workers
+//! and reuse probes from the on-disk [`crate::cache::ProfileCache`].
 
 use std::io::{Read, Write};
 use std::path::Path;
@@ -19,7 +25,8 @@ use cisa_isa::VendorIsa;
 use cisa_workloads::{all_phases, PhaseSpec};
 
 use crate::interval::{evaluate, PhasePerf};
-use crate::profile::{probe, PhaseProfile};
+use crate::profile::PhaseProfile;
+use crate::runner::SweepRunner;
 use crate::space::{DesignId, DesignSpace};
 
 /// Magic+version header for the on-disk format.
@@ -43,19 +50,34 @@ pub struct PerfTable {
 }
 
 impl PerfTable {
-    /// Builds the full table (expensive: ~10s of probing on one core;
-    /// cache with [`PerfTable::save`]).
+    /// Builds the full table (expensive: probes every (phase, feature
+    /// set) pair; cache with [`PerfTable::save`]) on the default
+    /// runner (`CISA_THREADS` workers, no probe cache).
     pub fn build(space: &DesignSpace) -> Self {
         Self::build_for_phases(space, &all_phases())
     }
 
-    /// Builds a table for a subset of phases (tests use this).
+    /// Builds a table for a subset of phases (tests use this) on the
+    /// default runner.
     pub fn build_for_phases(space: &DesignSpace, phases: &[PhaseSpec]) -> Self {
+        Self::build_for_phases_with(space, phases, &SweepRunner::default())
+    }
+
+    /// Builds a table for a subset of phases on an explicit
+    /// [`SweepRunner`] (thread budget + optional probe cache).
+    ///
+    /// Each (phase, feature set) cell — one probe, 180 interval-model
+    /// evaluations, plus any derived vendor-ISA row — is an independent
+    /// task; the runner sweeps the grid in parallel and the merged
+    /// result is identical at any thread count.
+    pub fn build_for_phases_with(
+        space: &DesignSpace,
+        phases: &[PhaseSpec],
+        runner: &SweepRunner,
+    ) -> Self {
         let n_ua = space.microarchs.len();
         let n_fs = space.feature_sets.len();
         let n_phases = phases.len();
-        let mut entries = vec![PhasePerf::default(); n_phases * n_fs * n_ua];
-        let mut vendor_entries = vec![PhasePerf::default(); n_phases * 3 * n_ua];
         let bench_names: Vec<&str> = cisa_workloads::all_benchmarks()
             .iter()
             .map(|b| b.name)
@@ -70,24 +92,49 @@ impl PerfTable {
             })
             .collect();
 
-        for (pi, spec) in phases.iter().enumerate() {
-            for (fi, fs) in space.feature_sets.iter().enumerate() {
-                let prof = probe(spec, *fs);
-                for (ui, ua) in space.microarchs.iter().enumerate() {
-                    let cfg = ua.with_fs(*fs);
-                    entries[(pi * n_fs + fi) * n_ua + ui] = evaluate(&prof, ua, &cfg);
-                }
-                // Vendor ISAs are derived from their x86-ized probes.
-                for (vi, v) in VendorIsa::ALL.iter().enumerate() {
-                    if v.x86ized() == *fs {
-                        let vprof = vendor_adjust(&prof, *v);
-                        for (ui, ua) in space.microarchs.iter().enumerate() {
-                            let cfg = ua.with_fs(*fs);
-                            vendor_entries[(pi * 3 + vi) * n_ua + ui] =
-                                evaluate(&vprof, ua, &cfg);
-                        }
-                    }
-                }
+        // One task per (phase, feature set) cell, row-major so the
+        // merged output lands in table order.
+        struct Cell {
+            perfs: Vec<PhasePerf>,
+            vendor: Option<(usize, Vec<PhasePerf>)>,
+        }
+        let pairs: Vec<(usize, usize)> = (0..n_phases)
+            .flat_map(|pi| (0..n_fs).map(move |fi| (pi, fi)))
+            .collect();
+        let cells: Vec<Cell> = runner.map(&pairs, |&(pi, fi)| {
+            let spec = &phases[pi];
+            let fs = space.feature_sets[fi];
+            let prof = runner.probe(spec, fs);
+            let perfs: Vec<PhasePerf> = space
+                .microarchs
+                .iter()
+                .map(|ua| evaluate(&prof, ua, &ua.with_fs(fs)))
+                .collect();
+            // Vendor ISAs are derived from their x86-ized probes.
+            let vendor = VendorIsa::ALL
+                .iter()
+                .enumerate()
+                .find(|(_, v)| v.x86ized() == fs)
+                .map(|(vi, v)| {
+                    let vprof = vendor_adjust(&prof, *v);
+                    let vperfs = space
+                        .microarchs
+                        .iter()
+                        .map(|ua| evaluate(&vprof, ua, &ua.with_fs(fs)))
+                        .collect();
+                    (vi, vperfs)
+                });
+            Cell { perfs, vendor }
+        });
+
+        let mut entries = vec![PhasePerf::default(); n_phases * n_fs * n_ua];
+        let mut vendor_entries = vec![PhasePerf::default(); n_phases * 3 * n_ua];
+        for (&(pi, fi), cell) in pairs.iter().zip(&cells) {
+            entries[(pi * n_fs + fi) * n_ua..(pi * n_fs + fi + 1) * n_ua]
+                .copy_from_slice(&cell.perfs);
+            if let Some((vi, vperfs)) = &cell.vendor {
+                vendor_entries[(pi * 3 + vi) * n_ua..(pi * 3 + vi + 1) * n_ua]
+                    .copy_from_slice(vperfs);
             }
         }
         PerfTable {
@@ -109,7 +156,10 @@ impl PerfTable {
     /// Looks up a vendor-ISA design point for a phase.
     #[inline]
     pub fn vendor(&self, phase: usize, vendor: VendorIsa, ua: usize) -> PhasePerf {
-        let vi = VendorIsa::ALL.iter().position(|v| *v == vendor).expect("known vendor");
+        let vi = VendorIsa::ALL
+            .iter()
+            .position(|v| *v == vendor)
+            .expect("known vendor");
         self.vendor_entries[(phase * 3 + vi) * self.n_ua + ua]
     }
 
@@ -178,8 +228,15 @@ impl PerfTable {
     }
 
     /// Loads from `path` if present and matching; otherwise builds and
-    /// saves.
+    /// saves (on the default runner).
     pub fn load_or_build(space: &DesignSpace, path: &Path) -> Self {
+        Self::load_or_build_with(space, path, &SweepRunner::default())
+    }
+
+    /// [`PerfTable::load_or_build`] with an explicit [`SweepRunner`],
+    /// so a cold build probes through the runner's cache and thread
+    /// pool. This is the entry point the experiment harness uses.
+    pub fn load_or_build_with(space: &DesignSpace, path: &Path, runner: &SweepRunner) -> Self {
         if let Some(t) = Self::load(path) {
             if t.n_ua == space.microarchs.len()
                 && t.n_fs == space.feature_sets.len()
@@ -188,7 +245,7 @@ impl PerfTable {
                 return t;
             }
         }
-        let t = Self::build(space);
+        let t = Self::build_for_phases_with(space, &all_phases(), runner);
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);
         }
@@ -340,8 +397,12 @@ mod tests {
             .unwrap() as u16;
         let better_count = (0..space.microarchs.len() as u16)
             .filter(|&ua| {
-                table.get(sjeng_pi, DesignId { fs: fs_full, ua }).cycles_per_unit
-                    < table.get(sjeng_pi, DesignId { fs: fs_partial, ua }).cycles_per_unit
+                table
+                    .get(sjeng_pi, DesignId { fs: fs_full, ua })
+                    .cycles_per_unit
+                    < table
+                        .get(sjeng_pi, DesignId { fs: fs_partial, ua })
+                        .cycles_per_unit
             })
             .count();
         assert!(
@@ -377,7 +438,13 @@ mod tests {
         // "exclusive features: FP support") and must win big on lbm.
         let ua = 30usize;
         let vendor_perf = table.vendor(lbm_pi, VendorIsa::Thumb, ua);
-        let x86ized_perf = table.get(lbm_pi, DesignId { fs: thumbized, ua: ua as u16 });
+        let x86ized_perf = table.get(
+            lbm_pi,
+            DesignId {
+                fs: thumbized,
+                ua: ua as u16,
+            },
+        );
         assert!(
             vendor_perf.cycles_per_unit > x86ized_perf.cycles_per_unit * 1.4,
             "thumb {} vs x86-ized {}",
@@ -394,7 +461,13 @@ mod tests {
             .iter()
             .position(|f| f.complexity() == Complexity::MicroX86)
             .unwrap() as u16;
-        let perf = table.get(0, DesignId { fs: micro_fs, ua: 0 });
+        let perf = table.get(
+            0,
+            DesignId {
+                fs: micro_fs,
+                ua: 0,
+            },
+        );
         assert!(perf.cycles_per_unit.is_finite());
     }
 }

@@ -1,5 +1,9 @@
 //! Property tests on the interval model: predicted time must be
 //! monotone in every resource the microarchitecture grows.
+//!
+//! The former sampled property runner is replaced by exhaustive sweeps
+//! over the small fixed domains (12 profiles, 180 microarchs), which is
+//! both stronger and deterministic.
 
 use cisa_explore::profile::probe;
 use cisa_explore::space::{all_microarchs, MicroArch};
@@ -7,7 +11,6 @@ use cisa_explore::{evaluate, PhaseProfile};
 use cisa_isa::FeatureSet;
 use cisa_sim::{ExecSemantics, PredictorKind, WindowConfig};
 use cisa_workloads::all_phases;
-use proptest::prelude::*;
 use std::sync::OnceLock;
 
 fn profiles() -> &'static Vec<(String, FeatureSet, PhaseProfile)> {
@@ -52,52 +55,73 @@ fn time(p: &PhaseProfile, fs: FeatureSet, ua: &MicroArch) -> f64 {
     evaluate(p, ua, &ua.with_fs(fs)).cycles_per_unit
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Growing any single resource never slows the prediction (small
-    /// numerical slack allowed for the fitted overlap interpolation).
-    #[test]
-    fn resources_are_monotone(idx in 0usize..12) {
-        let (name, fs, prof) = &profiles()[idx];
+/// Growing any single resource never slows the prediction (small
+/// numerical slack allowed for the fitted overlap interpolation).
+#[test]
+fn resources_are_monotone() {
+    for (name, fs, prof) in profiles() {
         let ua = base_ua();
         let t0 = time(prof, *fs, &ua);
 
         let bigger_l1 = MicroArch { l1_kb: 64, ..ua };
-        prop_assert!(time(prof, *fs, &bigger_l1) <= t0 * 1.001, "{name}: L1");
+        assert!(time(prof, *fs, &bigger_l1) <= t0 * 1.001, "{name}: L1");
 
         let bigger_l2 = MicroArch { l2_kb: 2048, ..ua };
-        prop_assert!(time(prof, *fs, &bigger_l2) <= t0 * 1.001, "{name}: L2");
+        assert!(time(prof, *fs, &bigger_l2) <= t0 * 1.001, "{name}: L2");
 
         let more_fp = MicroArch { fp_alu: 2, ..ua };
-        prop_assert!(time(prof, *fs, &more_fp) <= t0 * 1.001, "{name}: FP units");
+        assert!(time(prof, *fs, &more_fp) <= t0 * 1.001, "{name}: FP units");
 
-        let wider = MicroArch { width: 4, int_alu: 6, fp_alu: 2, lsq: 32, ..ua };
-        prop_assert!(time(prof, *fs, &wider) <= t0 * 1.02, "{name}: width bundle");
+        let wider = MicroArch {
+            width: 4,
+            int_alu: 6,
+            fp_alu: 2,
+            lsq: 32,
+            ..ua
+        };
+        assert!(time(prof, *fs, &wider) <= t0 * 1.02, "{name}: width bundle");
 
-        let big_window = MicroArch { window: WindowConfig::large(), ..ua };
-        prop_assert!(time(prof, *fs, &big_window) <= t0 * 1.02, "{name}: window");
+        let big_window = MicroArch {
+            window: WindowConfig::large(),
+            ..ua
+        };
+        assert!(time(prof, *fs, &big_window) <= t0 * 1.02, "{name}: window");
     }
+}
 
-    /// Out-of-order never loses to in-order at the same shape.
-    #[test]
-    fn ooo_dominates_inorder(idx in 0usize..12) {
-        let (name, fs, prof) = &profiles()[idx];
+/// Out-of-order never loses to in-order at the same shape.
+#[test]
+fn ooo_dominates_inorder() {
+    for (name, fs, prof) in profiles() {
         let ooo = base_ua();
-        let io = MicroArch { sem: ExecSemantics::InOrder, window: WindowConfig::in_order(), ..ooo };
-        prop_assert!(
+        let io = MicroArch {
+            sem: ExecSemantics::InOrder,
+            window: WindowConfig::in_order(),
+            ..ooo
+        };
+        assert!(
             time(prof, *fs, &ooo) <= time(prof, *fs, &io) * 1.001,
             "{name}: OoO must not lose to in-order"
         );
     }
+}
 
-    /// Energy per unit of work is finite and positive everywhere.
-    #[test]
-    fn energy_is_well_formed(idx in 0usize..12, ua_idx in 0usize..180) {
-        let (_, fs, prof) = &profiles()[idx];
-        let ua = all_microarchs()[ua_idx];
-        let perf = evaluate(prof, &ua, &ua.with_fs(*fs));
-        prop_assert!(perf.energy_per_unit.is_finite() && perf.energy_per_unit > 0.0);
-        prop_assert!(perf.cycles_per_unit.is_finite() && perf.cycles_per_unit > 0.0);
+/// Energy per unit of work is finite and positive everywhere: every
+/// profile against every one of the 180 microarchitectures.
+#[test]
+fn energy_is_well_formed() {
+    let uas = all_microarchs();
+    for (name, fs, prof) in profiles() {
+        for ua in &uas {
+            let perf = evaluate(prof, ua, &ua.with_fs(*fs));
+            assert!(
+                perf.energy_per_unit.is_finite() && perf.energy_per_unit > 0.0,
+                "{name}: energy"
+            );
+            assert!(
+                perf.cycles_per_unit.is_finite() && perf.cycles_per_unit > 0.0,
+                "{name}: cycles"
+            );
+        }
     }
 }

@@ -1,0 +1,104 @@
+//! Acceptance tests for the sweep engine: parallel execution must be
+//! bit-identical to serial execution, and a warm cache must eliminate
+//! probing entirely.
+
+use cisa_explore::profile::probes_run;
+use cisa_explore::{DesignSpace, PerfTable, ProfileCache, SweepRunner};
+use cisa_workloads::all_phases;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// The global probe counter is process-wide; tests that measure deltas
+/// must not run concurrently with other probing tests.
+static PROBE_COUNTER: Mutex<()> = Mutex::new(());
+
+/// A unique scratch directory per test (no timestamps: pid + name).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cisa-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bits(profiles: &[cisa_explore::profile::PhaseProfile]) -> Vec<u64> {
+    profiles
+        .iter()
+        .flat_map(|p| p.to_values().map(f64::to_bits))
+        .collect()
+}
+
+#[test]
+fn parallel_probe_sweep_is_bit_identical_to_serial() {
+    let _guard = PROBE_COUNTER.lock().unwrap();
+    let phases: Vec<_> = all_phases().into_iter().take(3).collect();
+    let space = DesignSpace::new();
+    let fs: Vec<_> = space.feature_sets.iter().copied().take(5).collect();
+
+    let serial = SweepRunner::serial().profile_grid(&phases, &fs);
+    for t in [2, 4, 7] {
+        let parallel = SweepRunner::new(t).profile_grid(&phases, &fs);
+        assert_eq!(
+            bits(&serial),
+            bits(&parallel),
+            "profile grid must be bit-identical at {t} threads"
+        );
+    }
+}
+
+#[test]
+fn parallel_table_build_is_bit_identical_to_serial() {
+    let _guard = PROBE_COUNTER.lock().unwrap();
+    let phases: Vec<_> = all_phases().into_iter().take(2).collect();
+    let space = DesignSpace::new();
+    let serial = PerfTable::build_for_phases_with(&space, &phases, &SweepRunner::serial());
+    let parallel = PerfTable::build_for_phases_with(&space, &phases, &SweepRunner::new(4));
+    assert_eq!(serial.n_phases, parallel.n_phases);
+
+    // Compare through the on-disk format: byte-identical tables.
+    let dir = scratch("table-determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    serial.save(&dir.join("serial.bin")).unwrap();
+    parallel.save(&dir.join("parallel.bin")).unwrap();
+    let a = std::fs::read(dir.join("serial.bin")).unwrap();
+    let b = std::fs::read(dir.join("parallel.bin")).unwrap();
+    assert_eq!(a, b, "table bytes must not depend on thread count");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_cache_rerun_does_zero_probes() {
+    let _guard = PROBE_COUNTER.lock().unwrap();
+    let dir = scratch("warm-cache");
+    let phases: Vec<_> = all_phases().into_iter().take(2).collect();
+    let space = DesignSpace::new();
+    let fs: Vec<_> = space.feature_sets.iter().copied().take(4).collect();
+
+    let cold_runner = SweepRunner::new(2).with_cache(ProfileCache::new(&dir));
+    let before = probes_run();
+    let cold = cold_runner.profile_grid(&phases, &fs);
+    let cold_probes = probes_run() - before;
+    assert_eq!(
+        cold_probes,
+        (phases.len() * fs.len()) as u64,
+        "cold run must probe every (phase, feature set) pair once"
+    );
+
+    // A fresh runner over the same cache directory: every pair must be
+    // served from disk without running a single probe.
+    let warm_runner = SweepRunner::new(2).with_cache(ProfileCache::new(&dir));
+    let before = probes_run();
+    let warm = warm_runner.profile_grid(&phases, &fs);
+    let warm_probes = probes_run() - before;
+    assert_eq!(
+        warm_probes, 0,
+        "warm run must be served entirely from cache"
+    );
+    assert_eq!(
+        bits(&cold),
+        bits(&warm),
+        "cached profiles must be bit-identical to freshly probed ones"
+    );
+    let (hits, misses, _) = warm_runner.cache().unwrap().stats();
+    assert_eq!((hits, misses), ((phases.len() * fs.len()) as u64, 0));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -227,7 +227,9 @@ mod tests {
     use crate::{ArchReg, FeatureSet};
 
     fn roundtrip(inst: &MachineInst) -> Disassembled {
-        let enc = Encoder::new(FeatureSet::superset()).encode(inst).expect("encodes");
+        let enc = Encoder::new(FeatureSet::superset())
+            .encode(inst)
+            .expect("encodes");
         let d = disassemble(&enc.bytes).expect("disassembles");
         assert_eq!(d.len as usize, enc.len(), "{inst}");
         assert_eq!(d.opcode, canonical_group(inst.opcode), "{inst}");
@@ -315,7 +317,12 @@ mod tests {
     fn stream_disassembly() {
         let enc = Encoder::new(FeatureSet::superset());
         let insts = [
-            MachineInst::compute(MacroOpcode::IntAlu, ArchReg::gpr(20), Operand::Reg(ArchReg::gpr(2)), Operand::None),
+            MachineInst::compute(
+                MacroOpcode::IntAlu,
+                ArchReg::gpr(20),
+                Operand::Reg(ArchReg::gpr(2)),
+                Operand::None,
+            ),
             MachineInst::branch(),
             MachineInst::jump(),
         ];

@@ -89,7 +89,10 @@ impl fmt::Display for EncodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EncodeError::IllegalUnderFeatureSet { inst, feature_set } => {
-                write!(f, "instruction {inst:?} is not legal under feature set {feature_set}")
+                write!(
+                    f,
+                    "instruction {inst:?} is not legal under feature set {feature_set}"
+                )
             }
         }
     }
@@ -110,27 +113,153 @@ struct OpcodeInfo {
 /// (e.g. `0x0F 0xAF` imul, `0xE9` jmp rel32, `0x0F 0x44` cmov).
 fn opcode_bytes(opcode: MacroOpcode, imm: u8) -> (&'static [u8], OpcodeInfo) {
     match (opcode, imm) {
-        (MacroOpcode::Mov, 0) => (&[0x89], OpcodeInfo { has_modrm: true, imm_bytes: 0 }),
-        (MacroOpcode::Mov, 1) => (&[0xB0], OpcodeInfo { has_modrm: false, imm_bytes: 1 }),
-        (MacroOpcode::Mov, 2) => (&[0xC6], OpcodeInfo { has_modrm: true, imm_bytes: 1 }),
-        (MacroOpcode::Mov, 3) => (&[0xC7], OpcodeInfo { has_modrm: true, imm_bytes: 4 }),
-        (MacroOpcode::Mov, _) => (&[0xB8], OpcodeInfo { has_modrm: false, imm_bytes: 4 }),
-        (MacroOpcode::IntAlu, 0) => (&[0x01], OpcodeInfo { has_modrm: true, imm_bytes: 0 }),
-        (MacroOpcode::IntAlu, 1) => (&[0x83], OpcodeInfo { has_modrm: true, imm_bytes: 1 }),
-        (MacroOpcode::IntAlu, _) => (&[0x81], OpcodeInfo { has_modrm: true, imm_bytes: 4 }),
-        (MacroOpcode::IntMul, _) => (&[0x0F, 0xAF], OpcodeInfo { has_modrm: true, imm_bytes: 0 }),
-        (MacroOpcode::Lea, _) => (&[0x8D], OpcodeInfo { has_modrm: true, imm_bytes: 0 }),
-        (MacroOpcode::Load, _) => (&[0x8B], OpcodeInfo { has_modrm: true, imm_bytes: 0 }),
-        (MacroOpcode::Store, _) => (&[0x88], OpcodeInfo { has_modrm: true, imm_bytes: 0 }),
-        (MacroOpcode::FpAlu, _) => (&[0x0F, 0x58], OpcodeInfo { has_modrm: true, imm_bytes: 0 }),
-        (MacroOpcode::FpMul, _) => (&[0x0F, 0x59], OpcodeInfo { has_modrm: true, imm_bytes: 0 }),
-        (MacroOpcode::VecAlu, _) => (&[0x0F, 0xFE], OpcodeInfo { has_modrm: true, imm_bytes: 0 }),
-        (MacroOpcode::Branch, _) => (&[0x0F, 0x84], OpcodeInfo { has_modrm: false, imm_bytes: 4 }),
-        (MacroOpcode::Jump, _) => (&[0xE9], OpcodeInfo { has_modrm: false, imm_bytes: 4 }),
-        (MacroOpcode::Call, _) => (&[0xE8], OpcodeInfo { has_modrm: false, imm_bytes: 4 }),
-        (MacroOpcode::Ret, _) => (&[0xC3], OpcodeInfo { has_modrm: false, imm_bytes: 0 }),
-        (MacroOpcode::Cmov, _) => (&[0x0F, 0x44], OpcodeInfo { has_modrm: true, imm_bytes: 0 }),
-        (MacroOpcode::Nop, _) => (&[0x90], OpcodeInfo { has_modrm: false, imm_bytes: 0 }),
+        (MacroOpcode::Mov, 0) => (
+            &[0x89],
+            OpcodeInfo {
+                has_modrm: true,
+                imm_bytes: 0,
+            },
+        ),
+        (MacroOpcode::Mov, 1) => (
+            &[0xB0],
+            OpcodeInfo {
+                has_modrm: false,
+                imm_bytes: 1,
+            },
+        ),
+        (MacroOpcode::Mov, 2) => (
+            &[0xC6],
+            OpcodeInfo {
+                has_modrm: true,
+                imm_bytes: 1,
+            },
+        ),
+        (MacroOpcode::Mov, 3) => (
+            &[0xC7],
+            OpcodeInfo {
+                has_modrm: true,
+                imm_bytes: 4,
+            },
+        ),
+        (MacroOpcode::Mov, _) => (
+            &[0xB8],
+            OpcodeInfo {
+                has_modrm: false,
+                imm_bytes: 4,
+            },
+        ),
+        (MacroOpcode::IntAlu, 0) => (
+            &[0x01],
+            OpcodeInfo {
+                has_modrm: true,
+                imm_bytes: 0,
+            },
+        ),
+        (MacroOpcode::IntAlu, 1) => (
+            &[0x83],
+            OpcodeInfo {
+                has_modrm: true,
+                imm_bytes: 1,
+            },
+        ),
+        (MacroOpcode::IntAlu, _) => (
+            &[0x81],
+            OpcodeInfo {
+                has_modrm: true,
+                imm_bytes: 4,
+            },
+        ),
+        (MacroOpcode::IntMul, _) => (
+            &[0x0F, 0xAF],
+            OpcodeInfo {
+                has_modrm: true,
+                imm_bytes: 0,
+            },
+        ),
+        (MacroOpcode::Lea, _) => (
+            &[0x8D],
+            OpcodeInfo {
+                has_modrm: true,
+                imm_bytes: 0,
+            },
+        ),
+        (MacroOpcode::Load, _) => (
+            &[0x8B],
+            OpcodeInfo {
+                has_modrm: true,
+                imm_bytes: 0,
+            },
+        ),
+        (MacroOpcode::Store, _) => (
+            &[0x88],
+            OpcodeInfo {
+                has_modrm: true,
+                imm_bytes: 0,
+            },
+        ),
+        (MacroOpcode::FpAlu, _) => (
+            &[0x0F, 0x58],
+            OpcodeInfo {
+                has_modrm: true,
+                imm_bytes: 0,
+            },
+        ),
+        (MacroOpcode::FpMul, _) => (
+            &[0x0F, 0x59],
+            OpcodeInfo {
+                has_modrm: true,
+                imm_bytes: 0,
+            },
+        ),
+        (MacroOpcode::VecAlu, _) => (
+            &[0x0F, 0xFE],
+            OpcodeInfo {
+                has_modrm: true,
+                imm_bytes: 0,
+            },
+        ),
+        (MacroOpcode::Branch, _) => (
+            &[0x0F, 0x84],
+            OpcodeInfo {
+                has_modrm: false,
+                imm_bytes: 4,
+            },
+        ),
+        (MacroOpcode::Jump, _) => (
+            &[0xE9],
+            OpcodeInfo {
+                has_modrm: false,
+                imm_bytes: 4,
+            },
+        ),
+        (MacroOpcode::Call, _) => (
+            &[0xE8],
+            OpcodeInfo {
+                has_modrm: false,
+                imm_bytes: 4,
+            },
+        ),
+        (MacroOpcode::Ret, _) => (
+            &[0xC3],
+            OpcodeInfo {
+                has_modrm: false,
+                imm_bytes: 0,
+            },
+        ),
+        (MacroOpcode::Cmov, _) => (
+            &[0x0F, 0x44],
+            OpcodeInfo {
+                has_modrm: true,
+                imm_bytes: 0,
+            },
+        ),
+        (MacroOpcode::Nop, _) => (
+            &[0x90],
+            OpcodeInfo {
+                has_modrm: false,
+                imm_bytes: 0,
+            },
+        ),
     }
 }
 
@@ -138,18 +267,51 @@ fn opcode_bytes(opcode: MacroOpcode, imm: u8) -> (&'static [u8], OpcodeInfo) {
 /// [`opcode_bytes`] exactly.
 fn opcode_info_for(first: u8, second: Option<u8>) -> Option<OpcodeInfo> {
     Some(match (first, second) {
-        (0x0F, Some(0xAF | 0x58 | 0x59 | 0xFE | 0x44)) => OpcodeInfo { has_modrm: true, imm_bytes: 0 },
-        (0x0F, Some(0x84)) => OpcodeInfo { has_modrm: false, imm_bytes: 4 },
+        (0x0F, Some(0xAF | 0x58 | 0x59 | 0xFE | 0x44)) => OpcodeInfo {
+            has_modrm: true,
+            imm_bytes: 0,
+        },
+        (0x0F, Some(0x84)) => OpcodeInfo {
+            has_modrm: false,
+            imm_bytes: 4,
+        },
         (0x0F, _) => return None,
-        (0x89 | 0x01 | 0x8D | 0x8B | 0x88, _) => OpcodeInfo { has_modrm: true, imm_bytes: 0 },
-        (0x83, _) => OpcodeInfo { has_modrm: true, imm_bytes: 1 },
-        (0x81, _) => OpcodeInfo { has_modrm: true, imm_bytes: 4 },
-        (0xB0, _) => OpcodeInfo { has_modrm: false, imm_bytes: 1 },
-        (0xB8, _) => OpcodeInfo { has_modrm: false, imm_bytes: 4 },
-        (0xC6, _) => OpcodeInfo { has_modrm: true, imm_bytes: 1 },
-        (0xC7, _) => OpcodeInfo { has_modrm: true, imm_bytes: 4 },
-        (0xE9 | 0xE8, _) => OpcodeInfo { has_modrm: false, imm_bytes: 4 },
-        (0xC3 | 0x90, _) => OpcodeInfo { has_modrm: false, imm_bytes: 0 },
+        (0x89 | 0x01 | 0x8D | 0x8B | 0x88, _) => OpcodeInfo {
+            has_modrm: true,
+            imm_bytes: 0,
+        },
+        (0x83, _) => OpcodeInfo {
+            has_modrm: true,
+            imm_bytes: 1,
+        },
+        (0x81, _) => OpcodeInfo {
+            has_modrm: true,
+            imm_bytes: 4,
+        },
+        (0xB0, _) => OpcodeInfo {
+            has_modrm: false,
+            imm_bytes: 1,
+        },
+        (0xB8, _) => OpcodeInfo {
+            has_modrm: false,
+            imm_bytes: 4,
+        },
+        (0xC6, _) => OpcodeInfo {
+            has_modrm: true,
+            imm_bytes: 1,
+        },
+        (0xC7, _) => OpcodeInfo {
+            has_modrm: true,
+            imm_bytes: 4,
+        },
+        (0xE9 | 0xE8, _) => OpcodeInfo {
+            has_modrm: false,
+            imm_bytes: 4,
+        },
+        (0xC3 | 0x90, _) => OpcodeInfo {
+            has_modrm: false,
+            imm_bytes: 0,
+        },
         _ => return None,
     })
 }
@@ -307,7 +469,7 @@ impl Encoder {
     }
 
     fn rex_bits(inst: &MachineInst) -> u8 {
-        let bit = |r: Option<ArchReg>| r.map_or(0, |r| ((r.index() >> 3) & 1) as u8);
+        let bit = |r: Option<ArchReg>| r.map_or(0, |r| (r.index() >> 3) & 1);
         let r = bit(inst.dst.or(inst.src1.reg()));
         let x = bit(inst.mem.and_then(|m| m.index));
         let b = bit(inst.mem.map(|m| m.base).or(inst.src2.reg()));
@@ -315,14 +477,15 @@ impl Encoder {
     }
 
     fn modrm_sib(inst: &MachineInst) -> (u8, Option<u8>, u8) {
-        let reg_field = inst
-            .dst
-            .or(inst.src1.reg())
-            .map_or(0, |r| r.index() & 0x7);
+        let reg_field = inst.dst.or(inst.src1.reg()).map_or(0, |r| r.index() & 0x7);
         match inst.mem {
             None => {
                 // Register-direct: mod = 11.
-                let rm = inst.src2.reg().or(inst.src1.reg()).map_or(0, |r| r.index() & 0x7);
+                let rm = inst
+                    .src2
+                    .reg()
+                    .or(inst.src1.reg())
+                    .map_or(0, |r| r.index() & 0x7);
                 (0b11 << 6 | reg_field << 3 | rm, None, 0)
             }
             Some(m) => {
@@ -516,7 +679,7 @@ impl InstLengthDecoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::inst::{MemLocality, MemOperand, MemRole, Operand};
+    use crate::inst::{MemLocality, MemOperand, Operand};
 
     fn r(i: u8) -> ArchReg {
         ArchReg::gpr(i)
@@ -524,7 +687,9 @@ mod tests {
 
     fn roundtrip(inst: &MachineInst, fs: FeatureSet) {
         let enc = Encoder::new(fs).encode(inst).expect("encodes");
-        let dec = InstLengthDecoder::new().decode_one(&enc.bytes).expect("decodes");
+        let dec = InstLengthDecoder::new()
+            .decode_one(&enc.bytes)
+            .expect("decodes");
         assert_eq!(dec.len, enc.bytes.len(), "length mismatch for {inst}");
         assert_eq!(dec.has_rexbc, enc.has_rexbc, "{inst}");
         assert_eq!(dec.has_predicate, enc.has_predicate, "{inst}");
@@ -534,7 +699,12 @@ mod tests {
 
     #[test]
     fn simple_alu_is_two_bytes() {
-        let i = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(2)), Operand::Reg(r(3)));
+        let i = MachineInst::compute(
+            MacroOpcode::IntAlu,
+            r(1),
+            Operand::Reg(r(2)),
+            Operand::Reg(r(3)),
+        );
         let enc = Encoder::new(FeatureSet::x86_64()).encode(&i).unwrap();
         assert_eq!(enc.bytes.len(), 2); // opcode + modrm
         roundtrip(&i, FeatureSet::x86_64());
@@ -543,7 +713,12 @@ mod tests {
     #[test]
     fn rexbc_register_adds_two_bytes() {
         let lo = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(2)), Operand::None);
-        let hi = MachineInst::compute(MacroOpcode::IntAlu, r(40), Operand::Reg(r(2)), Operand::None);
+        let hi = MachineInst::compute(
+            MacroOpcode::IntAlu,
+            r(40),
+            Operand::Reg(r(2)),
+            Operand::None,
+        );
         let enc = Encoder::new(FeatureSet::superset());
         let lo_len = enc.encoded_len(&lo).unwrap();
         let hi_len = enc.encoded_len(&hi).unwrap();
@@ -555,7 +730,8 @@ mod tests {
 
     #[test]
     fn predicate_prefix_adds_two_bytes() {
-        let plain = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(2)), Operand::None);
+        let plain =
+            MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(2)), Operand::None);
         let pred = plain.predicated_on(r(5), true);
         let enc = Encoder::new(FeatureSet::superset());
         assert_eq!(
@@ -570,7 +746,10 @@ mod tests {
         let lo = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(2)), Operand::None);
         let hi = MachineInst::compute(MacroOpcode::IntAlu, r(9), Operand::Reg(r(2)), Operand::None);
         let enc = Encoder::new(FeatureSet::x86_64());
-        assert_eq!(enc.encoded_len(&hi).unwrap(), enc.encoded_len(&lo).unwrap() + 1);
+        assert_eq!(
+            enc.encoded_len(&hi).unwrap(),
+            enc.encoded_len(&lo).unwrap() + 1
+        );
     }
 
     #[test]
@@ -586,13 +765,22 @@ mod tests {
             MachineInst::load(r(1), MemOperand::base_only(r(2), MemLocality::Stack)),
             MachineInst::load(r(1), MemOperand::base_disp(r(2), 1, MemLocality::Stack)),
             MachineInst::load(r(1), MemOperand::base_disp(r(2), 4, MemLocality::Stream)),
-            MachineInst::load(r(1), MemOperand::base_index(r(2), r(3), 4, MemLocality::Stream)),
-            MachineInst::load(r(1), MemOperand::base_index(r(2), r(3), 0, MemLocality::Stream)),
+            MachineInst::load(
+                r(1),
+                MemOperand::base_index(r(2), r(3), 4, MemLocality::Stream),
+            ),
+            MachineInst::load(
+                r(1),
+                MemOperand::base_index(r(2), r(3), 0, MemLocality::Stream),
+            ),
             // rm=100 escape: base register 4 needs a SIB byte.
             MachineInst::load(r(1), MemOperand::base_only(r(4), MemLocality::Stack)),
             // rm=101 with mod=00 would alias absolute: forced disp8.
             MachineInst::load(r(1), MemOperand::base_only(r(5), MemLocality::Stack)),
-            MachineInst::store(r(1), MemOperand::base_disp(r(6), 4, MemLocality::WorkingSet)),
+            MachineInst::store(
+                r(1),
+                MemOperand::base_disp(r(6), 4, MemLocality::WorkingSet),
+            ),
         ];
         for inst in &cases {
             roundtrip(inst, fs);
@@ -634,7 +822,12 @@ mod tests {
         let fs = FeatureSet::superset();
         let enc = Encoder::new(fs);
         let insts = [
-            MachineInst::compute(MacroOpcode::IntAlu, r(20), Operand::Reg(r(2)), Operand::None),
+            MachineInst::compute(
+                MacroOpcode::IntAlu,
+                r(20),
+                Operand::Reg(r(2)),
+                Operand::None,
+            ),
             MachineInst::load(r(1), MemOperand::base_disp(r(2), 4, MemLocality::Stack)),
             MachineInst::branch(),
         ];
@@ -652,14 +845,18 @@ mod tests {
     fn decode_errors() {
         let ild = InstLengthDecoder::new();
         assert_eq!(ild.decode_one(&[]), Err(DecodeError::Truncated));
-        assert_eq!(ild.decode_one(&[0xFF]), Err(DecodeError::UnknownOpcode(0xFF)));
+        assert_eq!(
+            ild.decode_one(&[0xFF]),
+            Err(DecodeError::UnknownOpcode(0xFF))
+        );
         assert_eq!(ild.decode_one(&[0x83, 0xC0]), Err(DecodeError::Truncated)); // missing imm8
     }
 
     #[test]
     fn wide_ops_set_rex_w() {
         let fs = FeatureSet::x86_64();
-        let i = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(2)), Operand::None).wide();
+        let i = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(2)), Operand::None)
+            .wide();
         let enc = Encoder::new(fs).encode(&i).unwrap();
         assert!(enc.has_rex);
         roundtrip(&i, fs);
@@ -671,7 +868,10 @@ mod tests {
         let enc = Encoder::new(fs);
         let i8 = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Imm(1), Operand::None);
         let i32 = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Imm(4), Operand::None);
-        assert_eq!(enc.encoded_len(&i32).unwrap(), enc.encoded_len(&i8).unwrap() + 3);
+        assert_eq!(
+            enc.encoded_len(&i32).unwrap(),
+            enc.encoded_len(&i8).unwrap() + 3
+        );
         roundtrip(&i8, fs);
         roundtrip(&i32, fs);
     }

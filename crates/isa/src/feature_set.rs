@@ -154,7 +154,10 @@ impl fmt::Display for ViabilityError {
                 write!(f, "full predication is not viable with only 8 registers")
             }
             ViabilityError::Width64WithDepth8 => {
-                write!(f, "64-bit feature sets require a register depth of at least 16")
+                write!(
+                    f,
+                    "64-bit feature sets require a register depth of at least 16"
+                )
             }
         }
     }
@@ -500,7 +503,11 @@ impl FromStr for FeatureSet {
             _ => return Err(err()),
         };
         let depth_part = parts.next().ok_or_else(err)?;
-        let depth_num: u32 = depth_part.strip_suffix('D').ok_or_else(err)?.parse().map_err(|_| err())?;
+        let depth_num: u32 = depth_part
+            .strip_suffix('D')
+            .ok_or_else(err)?
+            .parse()
+            .map_err(|_| err())?;
         let depth = RegisterDepth::from_count(depth_num).ok_or_else(err)?;
         let width_part = parts.next().ok_or_else(err)?;
         let width = match width_part.strip_suffix('W').ok_or_else(err)? {

@@ -117,7 +117,12 @@ impl MemOperand {
     }
 
     /// Full `[base + index*scale + disp]` operand.
-    pub fn base_index(base: ArchReg, index: ArchReg, disp_bytes: u8, locality: MemLocality) -> Self {
+    pub fn base_index(
+        base: ArchReg,
+        index: ArchReg,
+        disp_bytes: u8,
+        locality: MemLocality,
+    ) -> Self {
         MemOperand {
             mode: AddressingMode::BaseIndexScaleDisp,
             base,
@@ -335,9 +340,11 @@ impl MachineInst {
             .into_iter()
             .chain(self.src1.reg())
             .chain(self.src2.reg())
-            .chain(self.mem.map(|m| m.base).filter(|_| {
-                !matches!(self.mem.map(|m| m.mode), Some(AddressingMode::Absolute))
-            }))
+            .chain(
+                self.mem.map(|m| m.base).filter(|_| {
+                    !matches!(self.mem.map(|m| m.mode), Some(AddressingMode::Absolute))
+                }),
+            )
             .chain(self.mem.and_then(|m| m.index))
             .chain(self.predicate.map(|p| p.reg))
     }
@@ -382,7 +389,9 @@ impl MachineInst {
                     MicroOpKind::Load,
                     dst,
                     self.mem.map_or(MicroOp::NO_REG, |m| m.base.index()),
-                    self.mem.and_then(|m| m.index).map_or(MicroOp::NO_REG, |r| r.index()),
+                    self.mem
+                        .and_then(|m| m.index)
+                        .map_or(MicroOp::NO_REG, |r| r.index()),
                 )));
             }
             MacroOpcode::Store => {
@@ -395,11 +404,21 @@ impl MachineInst {
             }
             MacroOpcode::Call => {
                 // Push return address, then transfer.
-                uops.push(MicroOp::new(MicroOpKind::Store, MicroOp::NO_REG, MicroOp::NO_REG, MicroOp::NO_REG));
+                uops.push(MicroOp::new(
+                    MicroOpKind::Store,
+                    MicroOp::NO_REG,
+                    MicroOp::NO_REG,
+                    MicroOp::NO_REG,
+                ));
                 uops.push(MicroOp::bare(MicroOpKind::Jump));
             }
             MacroOpcode::Ret => {
-                uops.push(MicroOp::new(MicroOpKind::Load, MicroOp::NO_REG, MicroOp::NO_REG, MicroOp::NO_REG));
+                uops.push(MicroOp::new(
+                    MicroOpKind::Load,
+                    MicroOp::NO_REG,
+                    MicroOp::NO_REG,
+                    MicroOp::NO_REG,
+                ));
                 uops.push(MicroOp::bare(MicroOpKind::Jump));
             }
             _ => match (self.mem, self.mem_role) {
@@ -411,7 +430,12 @@ impl MachineInst {
                         m.base.index(),
                         m.index.map_or(MicroOp::NO_REG, |r| r.index()),
                     )));
-                    uops.push(apply_pred(MicroOp::new(base_kind, dst, reg(self.src1), dst)));
+                    uops.push(apply_pred(MicroOp::new(
+                        base_kind,
+                        dst,
+                        reg(self.src1),
+                        dst,
+                    )));
                 }
                 (Some(m), MemRole::Dst) => {
                     uops.push(apply_pred(MicroOp::new(
@@ -420,7 +444,12 @@ impl MachineInst {
                         m.base.index(),
                         m.index.map_or(MicroOp::NO_REG, |r| r.index()),
                     )));
-                    uops.push(apply_pred(MicroOp::new(base_kind, dst, reg(self.src1), dst)));
+                    uops.push(apply_pred(MicroOp::new(
+                        base_kind,
+                        dst,
+                        reg(self.src1),
+                        dst,
+                    )));
                     uops.push(apply_pred(MicroOp::new(
                         MicroOpKind::Store,
                         MicroOp::NO_REG,
@@ -429,7 +458,12 @@ impl MachineInst {
                     )));
                 }
                 _ => {
-                    uops.push(apply_pred(MicroOp::new(base_kind, dst, reg(self.src1), reg(self.src2))));
+                    uops.push(apply_pred(MicroOp::new(
+                        base_kind,
+                        dst,
+                        reg(self.src1),
+                        reg(self.src2),
+                    )));
                 }
             },
         }
@@ -489,7 +523,12 @@ mod tests {
 
     #[test]
     fn plain_alu_is_one_uop() {
-        let i = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(2)), Operand::Reg(r(3)));
+        let i = MachineInst::compute(
+            MacroOpcode::IntAlu,
+            r(1),
+            Operand::Reg(r(2)),
+            Operand::Reg(r(3)),
+        );
         assert_eq!(i.micro_ops().len(), 1);
         assert_eq!(i.uop_count(), 1);
         assert!(i.legal_under(&FeatureSet::minimal()));
@@ -498,7 +537,10 @@ mod tests {
     #[test]
     fn mem_src_alu_is_two_uops() {
         let i = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(1)), Operand::None)
-            .with_mem(MemOperand::base_disp(r(2), 1, MemLocality::WorkingSet), MemRole::Src);
+            .with_mem(
+                MemOperand::base_disp(r(2), 1, MemLocality::WorkingSet),
+                MemRole::Src,
+            );
         let uops = i.micro_ops();
         assert_eq!(uops.len(), 2);
         assert_eq!(uops[0].kind, MicroOpKind::Load);
@@ -509,9 +551,15 @@ mod tests {
     #[test]
     fn mem_dst_alu_is_three_uops() {
         let i = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(3)), Operand::None)
-            .with_mem(MemOperand::base_only(r(2), MemLocality::WorkingSet), MemRole::Dst);
+            .with_mem(
+                MemOperand::base_only(r(2), MemLocality::WorkingSet),
+                MemRole::Dst,
+            );
         let kinds: Vec<_> = i.micro_ops().iter().map(|u| u.kind).collect();
-        assert_eq!(kinds, vec![MicroOpKind::Load, MicroOpKind::IntAlu, MicroOpKind::Store]);
+        assert_eq!(
+            kinds,
+            vec![MicroOpKind::Load, MicroOpKind::IntAlu, MicroOpKind::Store]
+        );
     }
 
     #[test]
@@ -534,8 +582,12 @@ mod tests {
         let minimal = FeatureSet::minimal();
         let load = MachineInst::load(r(1), MemOperand::base_only(r(2), MemLocality::Stack));
         assert!(load.legal_under(&minimal));
-        let mem_alu = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(1)), Operand::None)
-            .with_mem(MemOperand::base_only(r(2), MemLocality::Stack), MemRole::Src);
+        let mem_alu =
+            MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(1)), Operand::None)
+                .with_mem(
+                    MemOperand::base_only(r(2), MemLocality::Stack),
+                    MemRole::Src,
+                );
         assert!(!mem_alu.legal_under(&minimal));
         assert!(mem_alu.legal_under(&FeatureSet::x86_64()));
     }
@@ -551,7 +603,10 @@ mod tests {
     fn predication_needs_full_support() {
         let p = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(2)), Operand::None)
             .predicated_on(r(5), false);
-        assert!(!p.legal_under(&FeatureSet::x86_64()), "x86-64 is partial-pred");
+        assert!(
+            !p.legal_under(&FeatureSet::x86_64()),
+            "x86-64 is partial-pred"
+        );
         assert!(p.legal_under(&FeatureSet::superset()));
         // The predicate register flows into every micro-op.
         assert!(p.micro_ops().iter().all(|u| u.pred == 5));
@@ -560,7 +615,12 @@ mod tests {
     #[test]
     fn deep_registers_need_depth() {
         let fs16 = FeatureSet::x86_64(); // depth 16
-        let i = MachineInst::compute(MacroOpcode::IntAlu, r(40), Operand::Reg(r(2)), Operand::None);
+        let i = MachineInst::compute(
+            MacroOpcode::IntAlu,
+            r(40),
+            Operand::Reg(r(2)),
+            Operand::None,
+        );
         assert!(!i.legal_under(&fs16));
         assert!(i.legal_under(&FeatureSet::superset()));
     }
@@ -574,7 +634,8 @@ mod tests {
             Predication::Partial,
         )
         .unwrap();
-        let i = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(2)), Operand::None).wide();
+        let i = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(2)), Operand::None)
+            .wide();
         assert!(!i.legal_under(&w32));
         assert!(i.legal_under(&FeatureSet::x86_64()));
     }
@@ -587,7 +648,10 @@ mod tests {
             MachineInst::store(r(1), MemOperand::base_disp(r(2), 4, MemLocality::Stack)),
             MachineInst::branch(),
             MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(1)), Operand::None)
-                .with_mem(MemOperand::base_index(r(2), r(3), 4, MemLocality::Stream), MemRole::Src),
+                .with_mem(
+                    MemOperand::base_index(r(2), r(3), 4, MemLocality::Stream),
+                    MemRole::Src,
+                ),
         ];
         for i in insts {
             assert_eq!(i.uop_count(), i.micro_ops().len(), "{i}");
@@ -597,7 +661,10 @@ mod tests {
     #[test]
     fn registers_iterates_all_references() {
         let i = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(2)), Operand::None)
-            .with_mem(MemOperand::base_index(r(3), r(4), 0, MemLocality::Stream), MemRole::Src)
+            .with_mem(
+                MemOperand::base_index(r(3), r(4), 0, MemLocality::Stream),
+                MemRole::Src,
+            )
             .predicated_on(r(5), true);
         let regs: Vec<_> = i.registers().map(|x| x.index()).collect();
         assert_eq!(regs, vec![1, 2, 3, 4, 5]);

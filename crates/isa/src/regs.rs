@@ -208,7 +208,10 @@ mod tests {
             Predication::Partial,
         )
         .unwrap();
-        assert!(ArchReg::xmm(3).available_in(&x86_32_8), "x86 cores carry SSE");
+        assert!(
+            ArchReg::xmm(3).available_in(&x86_32_8),
+            "x86 cores carry SSE"
+        );
     }
 
     #[test]

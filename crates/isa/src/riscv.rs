@@ -58,10 +58,16 @@ impl RiscvHost {
         let low_regs = inst.registers().all(|r| r.index() < 8);
         match inst.opcode {
             MacroOpcode::IntAlu | MacroOpcode::Mov => {
-                low_regs && inst.src1.imm_bytes() <= 1 && inst.src2.imm_bytes() <= 1 && inst.mem.is_none()
+                low_regs
+                    && inst.src1.imm_bytes() <= 1
+                    && inst.src2.imm_bytes() <= 1
+                    && inst.mem.is_none()
             }
             MacroOpcode::Load | MacroOpcode::Store => {
-                low_regs && inst.mem.map_or(false, |m| m.disp_bytes <= 1 && m.index.is_none())
+                low_regs
+                    && inst
+                        .mem
+                        .is_some_and(|m| m.disp_bytes <= 1 && m.index.is_none())
             }
             MacroOpcode::Jump | MacroOpcode::Ret => true,
             _ => false,
@@ -87,9 +93,7 @@ impl RiscvHost {
         if inst.predicate.is_some() && fs.predication() == Predication::Full {
             extra += 1;
         }
-        if fs.depth() == RegisterDepth::D64
-            && inst.registers().any(|r| r.index() >= 32)
-        {
+        if fs.depth() == RegisterDepth::D64 && inst.registers().any(|r| r.index() >= 32) {
             extra += 1;
         }
         base + extra
@@ -107,11 +111,7 @@ impl RiscvHost {
 
     /// Code-size ratio of this host vs. the x86 host for a compiled
     /// block: `(riscv_bytes, x86_bytes)`.
-    pub fn code_size_vs_x86(
-        &self,
-        insts: &[MachineInst],
-        fs: &FeatureSet,
-    ) -> (u64, u64) {
+    pub fn code_size_vs_x86(&self, insts: &[MachineInst], fs: &FeatureSet) -> (u64, u64) {
         let encoder = crate::Encoder::new(*fs);
         let mut rv = 0u64;
         let mut x86 = 0u64;
@@ -206,7 +206,12 @@ mod tests {
     fn plain_alu_is_one_parcel() {
         let host = RiscvHost::fixed_only();
         let fs = FeatureSet::x86_64();
-        let i = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(2)), Operand::Reg(r(3)));
+        let i = MachineInst::compute(
+            MacroOpcode::IntAlu,
+            r(1),
+            Operand::Reg(r(2)),
+            Operand::Reg(r(3)),
+        );
         assert_eq!(host.parcels(&i, &fs), 1);
         assert_eq!(host.encoded_len(&i, &fs), 4);
     }
@@ -215,11 +220,19 @@ mod tests {
     fn memory_operand_forms_split() {
         let host = RiscvHost::fixed_only();
         let fs = FeatureSet::x86_64();
-        let src = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(1)), Operand::None)
-            .with_mem(MemOperand::base_disp(r(2), 1, MemLocality::Stream), MemRole::Src);
+        let src =
+            MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(1)), Operand::None)
+                .with_mem(
+                    MemOperand::base_disp(r(2), 1, MemLocality::Stream),
+                    MemRole::Src,
+                );
         assert_eq!(host.parcels(&src, &fs), 2, "load + compute");
-        let dst = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(3)), Operand::None)
-            .with_mem(MemOperand::base_only(r(2), MemLocality::Stream), MemRole::Dst);
+        let dst =
+            MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(3)), Operand::None)
+                .with_mem(
+                    MemOperand::base_only(r(2), MemLocality::Stream),
+                    MemRole::Dst,
+                );
         assert_eq!(host.parcels(&dst, &fs), 3, "load + compute + store");
     }
 
@@ -227,8 +240,18 @@ mod tests {
     fn compression_needs_low_registers() {
         let host = RiscvHost::with_compression();
         let fs = FeatureSet::x86_64();
-        let lo = MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(2)), Operand::Reg(r(3)));
-        let hi = MachineInst::compute(MacroOpcode::IntAlu, r(9), Operand::Reg(r(2)), Operand::Reg(r(3)));
+        let lo = MachineInst::compute(
+            MacroOpcode::IntAlu,
+            r(1),
+            Operand::Reg(r(2)),
+            Operand::Reg(r(3)),
+        );
+        let hi = MachineInst::compute(
+            MacroOpcode::IntAlu,
+            r(9),
+            Operand::Reg(r(2)),
+            Operand::Reg(r(3)),
+        );
         assert!(host.compressible(&lo));
         assert!(!host.compressible(&hi));
         assert_eq!(host.encoded_len(&lo, &fs), 2);
@@ -240,10 +263,24 @@ mod tests {
     fn deep_registers_cost_a_prefix_parcel() {
         let host = RiscvHost::fixed_only();
         let fs = FeatureSet::superset();
-        let deep = MachineInst::compute(MacroOpcode::IntAlu, r(40), Operand::Reg(r(2)), Operand::None);
+        let deep = MachineInst::compute(
+            MacroOpcode::IntAlu,
+            r(40),
+            Operand::Reg(r(2)),
+            Operand::None,
+        );
         assert_eq!(host.parcels(&deep, &fs), 2);
-        let shallow = MachineInst::compute(MacroOpcode::IntAlu, r(20), Operand::Reg(r(2)), Operand::None);
-        assert_eq!(host.parcels(&shallow, &fs), 1, "depth 32 fits 5-bit+1 fields");
+        let shallow = MachineInst::compute(
+            MacroOpcode::IntAlu,
+            r(20),
+            Operand::Reg(r(2)),
+            Operand::None,
+        );
+        assert_eq!(
+            host.parcels(&shallow, &fs),
+            1,
+            "depth 32 fits 5-bit+1 fields"
+        );
     }
 
     #[test]
@@ -265,10 +302,18 @@ mod tests {
     fn rehost_reports_density() {
         let fs = FeatureSet::x86_64();
         let insts = vec![
-            MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(2)), Operand::Reg(r(3))),
+            MachineInst::compute(
+                MacroOpcode::IntAlu,
+                r(1),
+                Operand::Reg(r(2)),
+                Operand::Reg(r(3)),
+            ),
             MachineInst::load(r(1), MemOperand::base_disp(r(2), 1, MemLocality::Stream)),
             MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(1)), Operand::None)
-                .with_mem(MemOperand::base_disp(r(2), 1, MemLocality::Stream), MemRole::Src),
+                .with_mem(
+                    MemOperand::base_disp(r(2), 1, MemLocality::Stream),
+                    MemRole::Src,
+                ),
         ];
         let rep = rehost(&RiscvHost::with_compression(), &insts, &fs);
         assert_eq!(rep.x86_insts, 3);

@@ -1,0 +1,225 @@
+//! Randomized property tests: every encodable instruction roundtrips
+//! through the instruction-length decoder, under every feature set.
+//!
+//! These run a fixed number of cases from a seeded [`SmallRng`], so
+//! they are deterministic across machines while still sweeping a wide
+//! slice of the instruction space.
+
+use cisa_isa::inst::{MachineInst, MacroOpcode, MemLocality, MemOperand, MemRole, Operand};
+use cisa_isa::{ArchReg, Encoder, FeatureSet, InstLengthDecoder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn arb_opcode(rng: &mut SmallRng) -> MacroOpcode {
+    [
+        MacroOpcode::Mov,
+        MacroOpcode::IntAlu,
+        MacroOpcode::IntMul,
+        MacroOpcode::Lea,
+        MacroOpcode::FpAlu,
+        MacroOpcode::FpMul,
+        MacroOpcode::VecAlu,
+        MacroOpcode::Cmov,
+    ][rng.gen_range(0..8usize)]
+}
+
+fn arb_locality(rng: &mut SmallRng) -> MemLocality {
+    [
+        MemLocality::Stack,
+        MemLocality::Stream,
+        MemLocality::WorkingSet,
+        MemLocality::PointerChase,
+    ][rng.gen_range(0..4usize)]
+}
+
+fn arb_mem(rng: &mut SmallRng) -> MemOperand {
+    let base = rng.gen_range(0..64u8);
+    let index = rng.gen_range(0..64u8);
+    let disp = [0u8, 1, 4][rng.gen_range(0..3usize)];
+    let locality = arb_locality(rng);
+    match rng.gen_range(0..3u8) {
+        0 => MemOperand::base_only(ArchReg::gpr(base), locality),
+        1 => {
+            if disp == 0 {
+                MemOperand::base_only(ArchReg::gpr(base), locality)
+            } else {
+                MemOperand::base_disp(ArchReg::gpr(base), disp, locality)
+            }
+        }
+        _ => MemOperand::base_index(ArchReg::gpr(base), ArchReg::gpr(index), disp, locality),
+    }
+}
+
+fn arb_inst(rng: &mut SmallRng) -> MachineInst {
+    // Weighted 4:2:1 across compute / load-store / control, mirroring a
+    // plausible instruction mix.
+    match rng.gen_range(0..7u8) {
+        0..=3 => {
+            let op = arb_opcode(rng);
+            let dst = rng.gen_range(0..64u8);
+            let s1 = rng.gen_range(0..64u8);
+            let s2 = match rng.gen_range(0..4u8) {
+                0 => Operand::None,
+                1 => Operand::Reg(ArchReg::gpr(rng.gen_range(0..64u8))),
+                2 => Operand::Imm(1),
+                _ => Operand::Imm(4),
+            };
+            let mut inst =
+                MachineInst::compute(op, ArchReg::gpr(dst), Operand::Reg(ArchReg::gpr(s1)), s2);
+            if rng.gen_bool(0.5) {
+                let m = arb_mem(rng);
+                let role = if rng.gen_bool(0.5) {
+                    MemRole::Dst
+                } else {
+                    MemRole::Src
+                };
+                inst = inst.with_mem(m, role);
+            }
+            if rng.gen_bool(0.5) {
+                inst = inst.predicated_on(ArchReg::gpr(rng.gen_range(0..64u8)), rng.gen());
+            }
+            if rng.gen_bool(0.5) {
+                inst = inst.wide();
+            }
+            inst
+        }
+        4 | 5 => {
+            let r = ArchReg::gpr(rng.gen_range(0..64u8));
+            let m = arb_mem(rng);
+            if rng.gen_bool(0.5) {
+                MachineInst::store(r, m)
+            } else {
+                MachineInst::load(r, m)
+            }
+        }
+        _ => match rng.gen_range(0..5u8) {
+            0 => MachineInst::branch(),
+            1 => MachineInst::jump(),
+            2 => MachineInst {
+                opcode: MacroOpcode::Call,
+                ..MachineInst::jump()
+            },
+            3 => MachineInst {
+                opcode: MacroOpcode::Ret,
+                ..MachineInst::jump()
+            },
+            _ => MachineInst {
+                opcode: MacroOpcode::Nop,
+                ..MachineInst::jump()
+            },
+        },
+    }
+}
+
+/// Every instruction legal under a feature set encodes, decodes to
+/// the same length, and reports the same prefix structure.
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x15A_0001);
+    for _ in 0..768 {
+        let inst = arb_inst(&mut rng);
+        let fs = FeatureSet::all()[rng.gen_range(0..26usize)];
+        let encoder = Encoder::new(fs);
+        if !inst.legal_under(&fs) {
+            assert!(encoder.encode(&inst).is_err(), "illegal {inst} under {fs}");
+            continue;
+        }
+        let enc = encoder.encode(&inst).unwrap();
+        assert!(enc.len() <= cisa_isa::encoding::MAX_INST_LEN);
+        assert!(!enc.is_empty());
+        let dec = InstLengthDecoder::new().decode_one(&enc.bytes).unwrap();
+        assert_eq!(dec.len, enc.len());
+        assert_eq!(dec.has_rexbc, enc.has_rexbc);
+        assert_eq!(dec.has_predicate, enc.has_predicate);
+        assert_eq!(dec.has_rex, enc.has_rex);
+        assert_eq!(dec.legacy_prefixes, enc.legacy_prefixes);
+    }
+}
+
+/// Byte streams of consecutive instructions decode back to the same
+/// instruction count and lengths (the ILD's actual job).
+#[test]
+fn stream_decode_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x15A_0002);
+    for _ in 0..192 {
+        let fs = FeatureSet::superset();
+        let encoder = Encoder::new(fs);
+        let mut stream = Vec::new();
+        let mut lens = Vec::new();
+        for _ in 0..rng.gen_range(1..20usize) {
+            let inst = arb_inst(&mut rng);
+            if let Ok(e) = encoder.encode(&inst) {
+                lens.push(e.len());
+                stream.extend_from_slice(&e.bytes);
+            }
+        }
+        let decoded = InstLengthDecoder::new().decode_stream(&stream).unwrap();
+        assert_eq!(decoded.len(), lens.len());
+        for (d, l) in decoded.iter().zip(&lens) {
+            assert_eq!(d.len, *l);
+        }
+    }
+}
+
+/// The micro-op expansion is 1:1 for every instruction legal under
+/// any microx86 feature set (the defining property of microx86).
+#[test]
+fn microx86_legal_implies_single_uop() {
+    let mut rng = SmallRng::seed_from_u64(0x15A_0003);
+    let micro = FeatureSet::minimal();
+    for _ in 0..768 {
+        let inst = arb_inst(&mut rng);
+        if inst.legal_under(&micro) && !matches!(inst.opcode, MacroOpcode::Call | MacroOpcode::Ret)
+        {
+            assert_eq!(inst.micro_ops().len(), 1, "{inst}");
+        }
+    }
+}
+
+/// The disassembler inverts the encoder structurally: length,
+/// prefixes, and (for compute forms) the destination register field.
+#[test]
+fn disassembler_inverts_encoder() {
+    let mut rng = SmallRng::seed_from_u64(0x15A_0004);
+    let fs = FeatureSet::superset();
+    for _ in 0..768 {
+        let inst = arb_inst(&mut rng);
+        if !inst.legal_under(&fs) {
+            continue;
+        }
+        let enc = Encoder::new(fs).encode(&inst).unwrap();
+        let d = cisa_isa::disassemble(&enc.bytes).unwrap();
+        assert_eq!(d.len as usize, enc.len());
+        assert_eq!(d.has_rexbc, enc.has_rexbc);
+        assert_eq!(d.predicate.is_some(), enc.has_predicate);
+        if let Some(p) = inst.predicate {
+            assert_eq!(d.predicate, Some((p.reg.index(), p.negated)));
+        }
+        if let (Some(dst), Some(reg)) = (inst.dst, d.reg) {
+            assert_eq!(reg, dst.index(), "dst register field");
+        }
+    }
+}
+
+/// Coverage in the feature lattice implies encodability: if a set
+/// covers another, everything encodable under the covered set is
+/// encodable under the covering set. Swept over every (a, b) pair with
+/// a random instruction sample per covering pair.
+#[test]
+fn coverage_implies_encodability() {
+    let mut rng = SmallRng::seed_from_u64(0x15A_0005);
+    let all = FeatureSet::all();
+    for &fa in &all {
+        for &fb in &all {
+            if !fa.covers(&fb) {
+                continue;
+            }
+            for _ in 0..4 {
+                let inst = arb_inst(&mut rng);
+                if inst.legal_under(&fb) {
+                    assert!(inst.legal_under(&fa), "{fa} covers {fb} but rejects {inst}");
+                }
+            }
+        }
+    }
+}

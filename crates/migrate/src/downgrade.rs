@@ -138,22 +138,54 @@ pub fn emulate(code: &CompiledCode, target: &FeatureSet) -> (CompiledCode, Emula
                 if (r.index() as u32) >= depth {
                     dst_remapped = true;
                 }
-                inst.dst = Some(remap_reg(r, depth, &mut insts, true, &mut stats, &mut scratch_idx));
+                inst.dst = Some(remap_reg(
+                    r,
+                    depth,
+                    &mut insts,
+                    true,
+                    &mut stats,
+                    &mut scratch_idx,
+                ));
             }
             if let Operand::Reg(r) = inst.src1 {
-                inst.src1 =
-                    Operand::Reg(remap_reg(r, depth, &mut insts, false, &mut stats, &mut scratch_idx));
+                inst.src1 = Operand::Reg(remap_reg(
+                    r,
+                    depth,
+                    &mut insts,
+                    false,
+                    &mut stats,
+                    &mut scratch_idx,
+                ));
             }
             if let Operand::Reg(r) = inst.src2 {
-                inst.src2 =
-                    Operand::Reg(remap_reg(r, depth, &mut insts, false, &mut stats, &mut scratch_idx));
+                inst.src2 = Operand::Reg(remap_reg(
+                    r,
+                    depth,
+                    &mut insts,
+                    false,
+                    &mut stats,
+                    &mut scratch_idx,
+                ));
             }
             let mut mem = inst.mem;
             if let Some(m) = &mut mem {
-                m.base = remap_reg(m.base, depth, &mut insts, false, &mut stats, &mut scratch_idx);
+                m.base = remap_reg(
+                    m.base,
+                    depth,
+                    &mut insts,
+                    false,
+                    &mut stats,
+                    &mut scratch_idx,
+                );
                 if let Some(ix) = m.index {
-                    m.index =
-                        Some(remap_reg(ix, depth, &mut insts, false, &mut stats, &mut scratch_idx));
+                    m.index = Some(remap_reg(
+                        ix,
+                        depth,
+                        &mut insts,
+                        false,
+                        &mut stats,
+                        &mut scratch_idx,
+                    ));
                 }
             }
             inst.mem = mem;
@@ -244,7 +276,10 @@ pub fn downgrade_cost(spec: &PhaseSpec, compiled_for: FeatureSet, target: Featur
     let native_cfg = CoreConfig::reference(compiled_for);
     let native = simulate(&native_cfg, TraceGenerator::new(&code, spec, params));
     let constrained_cfg = CoreConfig::reference(target);
-    let emul = simulate(&constrained_cfg, TraceGenerator::new(&emulated, spec, params));
+    let emul = simulate(
+        &constrained_cfg,
+        TraceGenerator::new(&emulated, spec, params),
+    );
 
     // Normalize by work: both traces are uop-capped, so compare
     // cycles-per-unit using each code's dynamic uops per unit.
@@ -273,7 +308,10 @@ mod tests {
     use cisa_workloads::all_phases;
 
     fn spec(bench: &str) -> PhaseSpec {
-        all_phases().into_iter().find(|p| p.benchmark == bench).unwrap()
+        all_phases()
+            .into_iter()
+            .find(|p| p.benchmark == bench)
+            .unwrap()
     }
 
     fn superset_code(bench: &str) -> CompiledCode {
@@ -323,8 +361,7 @@ mod tests {
         for b in &out.blocks {
             for i in &b.insts {
                 assert!(
-                    i.uop_count() == 1
-                        || matches!(i.opcode, MacroOpcode::Call | MacroOpcode::Ret),
+                    i.uop_count() == 1 || matches!(i.opcode, MacroOpcode::Call | MacroOpcode::Ret),
                     "emulated code must be microx86-legal: {i}"
                 );
             }

@@ -208,7 +208,7 @@ impl<'a> MigrationSim<'a> {
 
                     let units = self.config.units_per_step;
                     let mut time = perf.cycles_per_unit * units;
-                    let moved = prev_assign.map_or(false, |pa| pa[t] != best_perm[t]);
+                    let moved = prev_assign.is_some_and(|pa| pa[t] != best_perm[t]);
                     if moved {
                         report.migrations += 1;
                         time += self.config.migration_cycles;
@@ -244,10 +244,7 @@ mod tests {
         static CELL: OnceLock<(DesignSpace, PerfTable)> = OnceLock::new();
         CELL.get_or_init(|| {
             let space = DesignSpace::new();
-            let phases: Vec<_> = all_phases()
-                .into_iter()
-                .filter(|p| p.index < 2)
-                .collect();
+            let phases: Vec<_> = all_phases().into_iter().filter(|p| p.index < 2).collect();
             let table = PerfTable::build_for_phases(&space, &phases);
             (space, table)
         })
@@ -263,8 +260,14 @@ mod tests {
             restarts: 1,
             ..Default::default()
         };
-        let best = search(&eval, &cands, Objective::Throughput, Budget::Area(64.0), &cfg)
-            .expect("feasible");
+        let best = search(
+            &eval,
+            &cands,
+            Objective::Throughput,
+            Budget::Area(64.0),
+            &cfg,
+        )
+        .expect("feasible");
         let mut sim = MigrationSim::new(&eval, MigrationConfig::default());
         let report = sim.replay(&best.cores);
         assert!(report.migrations > 0, "threads must migrate");
@@ -294,6 +297,10 @@ mod tests {
         let cores = [CoreChoice::Composite(ref_id); 4];
         let mut sim = MigrationSim::new(&eval, MigrationConfig::default());
         let report = sim.replay(&cores);
-        assert_eq!(report.total_downgrades(), 0, "identical cores cover everything");
+        assert_eq!(
+            report.total_downgrades(),
+            0,
+            "identical cores cover everything"
+        );
     }
 }

@@ -29,25 +29,40 @@ fn main() {
     };
     let lo = core_budget(&smallest);
     let hi = core_budget(&largest);
-    println!("small: area {:.2} power {:.2}", lo.area_mm2, lo.peak_power_w);
-    println!("large: area {:.2} power {:.2}", hi.area_mm2, hi.peak_power_w);
-    for (n, c) in lo.breakdown.named() { println!("  small {n}: a {:.3} p {:.3}", c.area, c.power); }
-    for (n, c) in hi.breakdown.named() { println!("  large {n}: a {:.3} p {:.3}", c.area, c.power); }
+    println!(
+        "small: area {:.2} power {:.2}",
+        lo.area_mm2, lo.peak_power_w
+    );
+    println!(
+        "large: area {:.2} power {:.2}",
+        hi.area_mm2, hi.peak_power_w
+    );
+    for (n, c) in lo.breakdown.named() {
+        println!("  small {n}: a {:.3} p {:.3}", c.area, c.power);
+    }
+    for (n, c) in hi.breakdown.named() {
+        println!("  large {n}: a {:.3} p {:.3}", c.area, c.power);
+    }
 
     let with_sse = CoreConfig::reference("x86-32D-64W".parse().unwrap());
     let mut no_sse = with_sse;
     no_sse.fs = "microx86-32D-64W".parse().unwrap();
     let a = core_budget(&with_sse);
     let b = core_budget(&no_sse);
-    println!("sse: area saving {:.2}% power saving {:.2}%",
+    println!(
+        "sse: area saving {:.2}% power saving {:.2}%",
         (1.0 - b.area_mm2 / a.area_mm2) * 100.0,
-        (1.0 - b.peak_power_w / a.peak_power_w) * 100.0);
+        (1.0 - b.peak_power_w / a.peak_power_w) * 100.0
+    );
 
     for depth in ["16D", "32D", "64D"] {
         let narrow: FeatureSet = format!("x86-{depth}-32W").parse().unwrap();
         let wide: FeatureSet = format!("x86-{depth}-64W").parse().unwrap();
         let a = core_budget(&CoreConfig::reference(narrow));
         let b = core_budget(&CoreConfig::reference(wide));
-        println!("width {depth}: {:.2}%", (b.peak_power_w / a.peak_power_w - 1.0) * 100.0);
+        println!(
+            "width {depth}: {:.2}%",
+            (b.peak_power_w / a.peak_power_w - 1.0) * 100.0
+        );
     }
 }

@@ -122,8 +122,7 @@ pub fn energy(cfg: &CoreConfig, result: &SimResult) -> EnergyReport {
     let seconds = result.cycles as f64 / CLOCK_HZ;
     let static_j = budget.peak_power_w * IDLE_FRACTION * seconds;
 
-    let total_j =
-        fetch_j + decode_j + bpred_j + scheduler_j + regfile_j + fu_j + mem_j + static_j;
+    let total_j = fetch_j + decode_j + bpred_j + scheduler_j + regfile_j + fu_j + mem_j + static_j;
     EnergyReport {
         total_j,
         fetch_j,
@@ -147,9 +146,19 @@ mod tests {
     use cisa_workloads::{all_phases, generate, TraceGenerator, TraceParams};
 
     fn run(bench: &str, cfg: &CoreConfig) -> (SimResult, EnergyReport) {
-        let spec = all_phases().into_iter().find(|p| p.benchmark == bench).unwrap();
+        let spec = all_phases()
+            .into_iter()
+            .find(|p| p.benchmark == bench)
+            .unwrap();
         let code = compile(&generate(&spec), &cfg.fs, &CompileOptions::default()).unwrap();
-        let trace = TraceGenerator::new(&code, &spec, TraceParams { max_uops: 20_000, seed: 3 });
+        let trace = TraceGenerator::new(
+            &code,
+            &spec,
+            TraceParams {
+                max_uops: 20_000,
+                seed: 3,
+            },
+        );
         let r = simulate(cfg, trace);
         let e = energy(cfg, &r);
         (r, e)

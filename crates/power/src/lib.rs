@@ -12,4 +12,6 @@ pub mod energy;
 pub mod model;
 
 pub use energy::{energy, EnergyReport, CLOCK_HZ};
-pub use model::{chip_budget, core_budget, l2_cost, ChipBudget, CoreBreakdown, CoreBudget, StructureCost};
+pub use model::{
+    chip_budget, core_budget, l2_cost, ChipBudget, CoreBreakdown, CoreBudget, StructureCost,
+};

@@ -31,7 +31,6 @@ impl StructureCost {
     fn new(area: f64, power: f64) -> Self {
         StructureCost { area, power }
     }
-
 }
 
 impl std::ops::Add for StructureCost {
@@ -304,13 +303,21 @@ mod tests {
             "smallest power {}",
             lo.peak_power_w
         );
-        assert!((lo.area_mm2 - 9.4).abs() < 1.0, "smallest area {}", lo.area_mm2);
+        assert!(
+            (lo.area_mm2 - 9.4).abs() < 1.0,
+            "smallest area {}",
+            lo.area_mm2
+        );
         assert!(
             (hi.peak_power_w - 23.4).abs() < 2.0,
             "largest power {}",
             hi.peak_power_w
         );
-        assert!((hi.area_mm2 - 28.6).abs() < 2.5, "largest area {}", hi.area_mm2);
+        assert!(
+            (hi.area_mm2 - 28.6).abs() < 2.5,
+            "largest area {}",
+            hi.area_mm2
+        );
     }
 
     #[test]
@@ -461,7 +468,10 @@ mod chip_tests {
         assert_eq!(chip.cores.len(), 4);
         let sum: f64 = chip.cores.iter().map(|b| b.area_mm2).sum();
         assert!((chip.cores_area_mm2 - sum).abs() < 1e-9);
-        assert!(chip.total_area_mm2 > chip.cores_area_mm2, "shared L2 adds area");
+        assert!(
+            chip.total_area_mm2 > chip.cores_area_mm2,
+            "shared L2 adds area"
+        );
         assert!(chip.total_peak_power_w > chip.cores_peak_power_w);
         // little(1MB) x2 + reference(1MB) + big(2MB) slices.
         assert_eq!(chip.shared_l2_kb, 1024 * 3 + 2048);

@@ -220,7 +220,11 @@ mod tests {
                 c.access(a);
             }
         }
-        assert!(c.miss_rate() <= 0.011, "16KB set in 32KB cache: {}", c.miss_rate());
+        assert!(
+            c.miss_rate() <= 0.011,
+            "16KB set in 32KB cache: {}",
+            c.miss_rate()
+        );
     }
 
     #[test]
@@ -231,13 +235,17 @@ mod tests {
                 c.access(a);
             }
         }
-        assert!(c.miss_rate() > 0.9, "LRU sweep must thrash: {}", c.miss_rate());
+        assert!(
+            c.miss_rate() > 0.9,
+            "LRU sweep must thrash: {}",
+            c.miss_rate()
+        );
     }
 
     #[test]
     fn lru_keeps_hot_lines() {
         let mut c = Cache::new(4096, 4); // 16 sets
-        // One hot line, many cold conflicting lines in the same set.
+                                         // One hot line, many cold conflicting lines in the same set.
         let hot = 0u64;
         for i in 0..1000u64 {
             c.access(hot);

@@ -177,8 +177,16 @@ pub fn simulate_with_prefetcher(
     let ooo = cfg.sem == ExecSemantics::OutOfOrder;
     let width = cfg.width as u64;
     let decode_width = fe.config().decode_width() as u64;
-    let rob_cap = if ooo { cfg.window.rob as usize } else { cfg.width as usize * 2 };
-    let iq_cap = if ooo { cfg.window.iq as usize } else { cfg.width as usize * 2 };
+    let rob_cap = if ooo {
+        cfg.window.rob as usize
+    } else {
+        cfg.width as usize * 2
+    };
+    let iq_cap = if ooo {
+        cfg.window.iq as usize
+    } else {
+        cfg.width as usize * 2
+    };
     let lsq_cap = cfg.lsq as usize;
 
     let mut int_pool = FuPool::new(cfg.int_alu);
@@ -287,7 +295,9 @@ pub fn simulate_with_prefetcher(
         let issue = match u.kind.class() {
             UopClass::Int => int_pool.acquire(ready, 1),
             UopClass::IntMul => mul_pool.acquire(ready, 2),
-            UopClass::Fp | UopClass::Vec => fp_pool.acquire(ready, if u.kind == MicroOpKind::FpMul { 2 } else { 1 }),
+            UopClass::Fp | UopClass::Vec => {
+                fp_pool.acquire(ready, if u.kind == MicroOpKind::FpMul { 2 } else { 1 })
+            }
             UopClass::Mem => mem_pool.acquire(ready, 1),
         };
         if !ooo {
@@ -379,7 +389,10 @@ pub fn simulate_with_prefetcher(
             }
         }
         rob.push_back(commit_cycle);
-        debug_assert!(rob.len() <= rob_cap, "dispatch capped the ROB before the push");
+        debug_assert!(
+            rob.len() <= rob_cap,
+            "dispatch capped the ROB before the push"
+        );
         iq.push(std::cmp::Reverse(issue));
         if is_mem {
             lsq.push(std::cmp::Reverse(completion));
@@ -412,7 +425,10 @@ mod tests {
     use cisa_workloads::{all_phases, generate, PhaseSpec, TraceGenerator, TraceParams};
 
     fn phase(bench: &str) -> PhaseSpec {
-        all_phases().into_iter().find(|p| p.benchmark == bench).unwrap()
+        all_phases()
+            .into_iter()
+            .find(|p| p.benchmark == bench)
+            .unwrap()
     }
 
     fn run(bench: &str, cfg: &CoreConfig, n: usize) -> SimResult {
@@ -435,7 +451,10 @@ mod tests {
             let cfg = CoreConfig::reference(FeatureSet::x86_64());
             let r = run(bench, &cfg, 30_000);
             let ipc = r.ipc();
-            assert!(ipc > 0.05 && ipc <= cfg.width as f64 + 1e-9, "{bench}: ipc {ipc}");
+            assert!(
+                ipc > 0.05 && ipc <= cfg.width as f64 + 1e-9,
+                "{bench}: ipc {ipc}"
+            );
         }
     }
 
@@ -475,7 +494,12 @@ mod tests {
         let cfg = CoreConfig::reference(FeatureSet::x86_64());
         let mcf = run("mcf", &cfg, 30_000);
         let bzip = run("bzip2", &cfg, 30_000);
-        assert!(mcf.ipc() < bzip.ipc(), "mcf {} vs bzip2 {}", mcf.ipc(), bzip.ipc());
+        assert!(
+            mcf.ipc() < bzip.ipc(),
+            "mcf {} vs bzip2 {}",
+            mcf.ipc(),
+            bzip.ipc()
+        );
         assert!(
             mcf.activity.l2_misses > bzip.activity.l2_misses,
             "mcf must miss L2 more"

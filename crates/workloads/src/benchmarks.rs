@@ -19,6 +19,9 @@
 //!
 //! The phase counts sum to the paper's **49** SimPoint regions.
 
+// Phase tables keep parallel structure like `1 * MB` next to `256 * KB`.
+#![allow(clippy::identity_op)]
+
 use cisa_isa::inst::MemLocality;
 
 /// Memory-locality profile of a phase: how its working set interacts
@@ -95,6 +98,35 @@ impl PhaseSpec {
             MemLocality::WorkingSet
         }
     }
+
+    /// A stable textual fingerprint of every generation parameter.
+    ///
+    /// Two specs with equal fingerprints generate identical IR (the
+    /// generator is a pure function of these fields), so content-hash
+    /// caches key probe results on this string. Floats are rendered
+    /// through their exact bit patterns to avoid any formatting
+    /// ambiguity.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "{}.p{} seed={:#x} rp={} br={:x}/{:?} mem={:x} ws={} st={} pc={:x} \
+             fp={:x} vec={:x} wide={:x} trip={} ilp={}",
+            self.benchmark,
+            self.index,
+            self.seed,
+            self.register_pressure,
+            self.branchiness.to_bits(),
+            self.branch_style,
+            self.mem_intensity.to_bits(),
+            self.locality.working_set_bytes,
+            self.locality.stream_bytes,
+            self.locality.pointer_chase_fraction.to_bits(),
+            self.fp_fraction.to_bits(),
+            self.vector_fraction.to_bits(),
+            self.wide_fraction.to_bits(),
+            self.loop_trip,
+            self.ilp_chains,
+        )
+    }
 }
 
 /// A benchmark: a name and its phases.
@@ -118,6 +150,7 @@ impl Benchmark {
 const KB: u64 = 1024;
 const MB: u64 = 1024 * KB;
 
+#[allow(clippy::too_many_arguments)]
 fn phase(
     benchmark: &'static str,
     index: u32,
@@ -168,27 +201,222 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
         Benchmark {
             name: "bzip2",
             phases: vec![
-                phase("bzip2", 0, 8, 0.30, BranchStyle::Patterned, 0.32, ws(256 * KB, 1 * MB, 0.0), 0.02, 0.00, 0.10, 180, 3),
-                phase("bzip2", 1, 18, 0.22, BranchStyle::Patterned, 0.30, ws(512 * KB, 2 * MB, 0.0), 0.02, 0.00, 0.10, 220, 3),
-                phase("bzip2", 2, 6, 0.34, BranchStyle::Irregular, 0.33, ws(128 * KB, 1 * MB, 0.0), 0.02, 0.00, 0.08, 150, 2),
-                phase("bzip2", 3, 5, 0.28, BranchStyle::Patterned, 0.35, ws(256 * KB, 2 * MB, 0.0), 0.02, 0.00, 0.10, 200, 3),
-                phase("bzip2", 4, 9, 0.25, BranchStyle::Regular, 0.30, ws(64 * KB, 4 * MB, 0.0), 0.02, 0.00, 0.12, 400, 4),
-                phase("bzip2", 5, 7, 0.30, BranchStyle::Patterned, 0.31, ws(256 * KB, 1 * MB, 0.0), 0.02, 0.00, 0.10, 180, 3),
-                phase("bzip2", 6, 6, 0.36, BranchStyle::Irregular, 0.28, ws(128 * KB, 512 * KB, 0.0), 0.02, 0.00, 0.08, 120, 2),
-                phase("bzip2", 7, 8, 0.27, BranchStyle::Patterned, 0.33, ws(256 * KB, 2 * MB, 0.0), 0.02, 0.00, 0.10, 240, 3),
+                phase(
+                    "bzip2",
+                    0,
+                    8,
+                    0.30,
+                    BranchStyle::Patterned,
+                    0.32,
+                    ws(256 * KB, 1 * MB, 0.0),
+                    0.02,
+                    0.00,
+                    0.10,
+                    180,
+                    3,
+                ),
+                phase(
+                    "bzip2",
+                    1,
+                    18,
+                    0.22,
+                    BranchStyle::Patterned,
+                    0.30,
+                    ws(512 * KB, 2 * MB, 0.0),
+                    0.02,
+                    0.00,
+                    0.10,
+                    220,
+                    3,
+                ),
+                phase(
+                    "bzip2",
+                    2,
+                    6,
+                    0.34,
+                    BranchStyle::Irregular,
+                    0.33,
+                    ws(128 * KB, 1 * MB, 0.0),
+                    0.02,
+                    0.00,
+                    0.08,
+                    150,
+                    2,
+                ),
+                phase(
+                    "bzip2",
+                    3,
+                    5,
+                    0.28,
+                    BranchStyle::Patterned,
+                    0.35,
+                    ws(256 * KB, 2 * MB, 0.0),
+                    0.02,
+                    0.00,
+                    0.10,
+                    200,
+                    3,
+                ),
+                phase(
+                    "bzip2",
+                    4,
+                    9,
+                    0.25,
+                    BranchStyle::Regular,
+                    0.30,
+                    ws(64 * KB, 4 * MB, 0.0),
+                    0.02,
+                    0.00,
+                    0.12,
+                    400,
+                    4,
+                ),
+                phase(
+                    "bzip2",
+                    5,
+                    7,
+                    0.30,
+                    BranchStyle::Patterned,
+                    0.31,
+                    ws(256 * KB, 1 * MB, 0.0),
+                    0.02,
+                    0.00,
+                    0.10,
+                    180,
+                    3,
+                ),
+                phase(
+                    "bzip2",
+                    6,
+                    6,
+                    0.36,
+                    BranchStyle::Irregular,
+                    0.28,
+                    ws(128 * KB, 512 * KB, 0.0),
+                    0.02,
+                    0.00,
+                    0.08,
+                    120,
+                    2,
+                ),
+                phase(
+                    "bzip2",
+                    7,
+                    8,
+                    0.27,
+                    BranchStyle::Patterned,
+                    0.33,
+                    ws(256 * KB, 2 * MB, 0.0),
+                    0.02,
+                    0.00,
+                    0.10,
+                    240,
+                    3,
+                ),
             ],
         },
         // gobmk: 7 phases. Go engine: irregular branches, shallow loops.
         Benchmark {
             name: "gobmk",
             phases: vec![
-                phase("gobmk", 0, 6, 0.55, BranchStyle::Irregular, 0.28, ws(512 * KB, 128 * KB, 0.04), 0.01, 0.00, 0.12, 24, 2),
-                phase("gobmk", 1, 7, 0.60, BranchStyle::Irregular, 0.26, ws(1 * MB, 128 * KB, 0.04), 0.01, 0.00, 0.12, 18, 2),
-                phase("gobmk", 2, 5, 0.52, BranchStyle::Irregular, 0.30, ws(256 * KB, 256 * KB, 0.04), 0.01, 0.00, 0.10, 30, 2),
-                phase("gobmk", 3, 6, 0.58, BranchStyle::Irregular, 0.27, ws(512 * KB, 128 * KB, 0.04), 0.01, 0.00, 0.12, 20, 2),
-                phase("gobmk", 4, 5, 0.48, BranchStyle::Patterned, 0.29, ws(256 * KB, 256 * KB, 0.04), 0.01, 0.00, 0.10, 40, 3),
-                phase("gobmk", 5, 8, 0.62, BranchStyle::Irregular, 0.25, ws(1 * MB, 64 * KB, 0.04), 0.01, 0.00, 0.12, 16, 2),
-                phase("gobmk", 6, 6, 0.54, BranchStyle::Irregular, 0.28, ws(512 * KB, 128 * KB, 0.04), 0.01, 0.00, 0.10, 25, 2),
+                phase(
+                    "gobmk",
+                    0,
+                    6,
+                    0.55,
+                    BranchStyle::Irregular,
+                    0.28,
+                    ws(512 * KB, 128 * KB, 0.04),
+                    0.01,
+                    0.00,
+                    0.12,
+                    24,
+                    2,
+                ),
+                phase(
+                    "gobmk",
+                    1,
+                    7,
+                    0.60,
+                    BranchStyle::Irregular,
+                    0.26,
+                    ws(1 * MB, 128 * KB, 0.04),
+                    0.01,
+                    0.00,
+                    0.12,
+                    18,
+                    2,
+                ),
+                phase(
+                    "gobmk",
+                    2,
+                    5,
+                    0.52,
+                    BranchStyle::Irregular,
+                    0.30,
+                    ws(256 * KB, 256 * KB, 0.04),
+                    0.01,
+                    0.00,
+                    0.10,
+                    30,
+                    2,
+                ),
+                phase(
+                    "gobmk",
+                    3,
+                    6,
+                    0.58,
+                    BranchStyle::Irregular,
+                    0.27,
+                    ws(512 * KB, 128 * KB, 0.04),
+                    0.01,
+                    0.00,
+                    0.12,
+                    20,
+                    2,
+                ),
+                phase(
+                    "gobmk",
+                    4,
+                    5,
+                    0.48,
+                    BranchStyle::Patterned,
+                    0.29,
+                    ws(256 * KB, 256 * KB, 0.04),
+                    0.01,
+                    0.00,
+                    0.10,
+                    40,
+                    3,
+                ),
+                phase(
+                    "gobmk",
+                    5,
+                    8,
+                    0.62,
+                    BranchStyle::Irregular,
+                    0.25,
+                    ws(1 * MB, 64 * KB, 0.04),
+                    0.01,
+                    0.00,
+                    0.12,
+                    16,
+                    2,
+                ),
+                phase(
+                    "gobmk",
+                    6,
+                    6,
+                    0.54,
+                    BranchStyle::Irregular,
+                    0.28,
+                    ws(512 * KB, 128 * KB, 0.04),
+                    0.01,
+                    0.00,
+                    0.10,
+                    25,
+                    2,
+                ),
             ],
         },
         // hmmer: 5 phases. Profile HMM search: extreme register
@@ -196,21 +424,138 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
         Benchmark {
             name: "hmmer",
             phases: vec![
-                phase("hmmer", 0, 24, 0.12, BranchStyle::Regular, 0.34, ws(64 * KB, 2 * MB, 0.0), 0.05, 0.05, 0.15, 500, 6),
-                phase("hmmer", 1, 28, 0.10, BranchStyle::Regular, 0.35, ws(64 * KB, 2 * MB, 0.0), 0.05, 0.05, 0.15, 600, 6),
-                phase("hmmer", 2, 22, 0.12, BranchStyle::Regular, 0.33, ws(128 * KB, 1 * MB, 0.0), 0.05, 0.05, 0.15, 450, 5),
-                phase("hmmer", 3, 26, 0.11, BranchStyle::Regular, 0.34, ws(64 * KB, 2 * MB, 0.0), 0.05, 0.05, 0.15, 550, 6),
-                phase("hmmer", 4, 23, 0.13, BranchStyle::Regular, 0.33, ws(128 * KB, 1 * MB, 0.0), 0.05, 0.05, 0.15, 480, 5),
+                phase(
+                    "hmmer",
+                    0,
+                    24,
+                    0.12,
+                    BranchStyle::Regular,
+                    0.34,
+                    ws(64 * KB, 2 * MB, 0.0),
+                    0.05,
+                    0.05,
+                    0.15,
+                    500,
+                    6,
+                ),
+                phase(
+                    "hmmer",
+                    1,
+                    28,
+                    0.10,
+                    BranchStyle::Regular,
+                    0.35,
+                    ws(64 * KB, 2 * MB, 0.0),
+                    0.05,
+                    0.05,
+                    0.15,
+                    600,
+                    6,
+                ),
+                phase(
+                    "hmmer",
+                    2,
+                    22,
+                    0.12,
+                    BranchStyle::Regular,
+                    0.33,
+                    ws(128 * KB, 1 * MB, 0.0),
+                    0.05,
+                    0.05,
+                    0.15,
+                    450,
+                    5,
+                ),
+                phase(
+                    "hmmer",
+                    3,
+                    26,
+                    0.11,
+                    BranchStyle::Regular,
+                    0.34,
+                    ws(64 * KB, 2 * MB, 0.0),
+                    0.05,
+                    0.05,
+                    0.15,
+                    550,
+                    6,
+                ),
+                phase(
+                    "hmmer",
+                    4,
+                    23,
+                    0.13,
+                    BranchStyle::Regular,
+                    0.33,
+                    ws(128 * KB, 1 * MB, 0.0),
+                    0.05,
+                    0.05,
+                    0.15,
+                    480,
+                    5,
+                ),
             ],
         },
         // lbm: 4 phases. Lattice-Boltzmann: FP streaming, low pressure.
         Benchmark {
             name: "lbm",
             phases: vec![
-                phase("lbm", 0, 4, 0.06, BranchStyle::Regular, 0.42, ws(32 * KB, 16 * MB, 0.0), 0.70, 0.55, 0.30, 1000, 4),
-                phase("lbm", 1, 5, 0.05, BranchStyle::Regular, 0.44, ws(32 * KB, 16 * MB, 0.0), 0.72, 0.60, 0.30, 1200, 4),
-                phase("lbm", 2, 4, 0.06, BranchStyle::Regular, 0.40, ws(64 * KB, 8 * MB, 0.0), 0.68, 0.50, 0.30, 900, 4),
-                phase("lbm", 3, 4, 0.05, BranchStyle::Regular, 0.43, ws(32 * KB, 16 * MB, 0.0), 0.70, 0.55, 0.30, 1100, 4),
+                phase(
+                    "lbm",
+                    0,
+                    4,
+                    0.06,
+                    BranchStyle::Regular,
+                    0.42,
+                    ws(32 * KB, 16 * MB, 0.0),
+                    0.70,
+                    0.55,
+                    0.30,
+                    1000,
+                    4,
+                ),
+                phase(
+                    "lbm",
+                    1,
+                    5,
+                    0.05,
+                    BranchStyle::Regular,
+                    0.44,
+                    ws(32 * KB, 16 * MB, 0.0),
+                    0.72,
+                    0.60,
+                    0.30,
+                    1200,
+                    4,
+                ),
+                phase(
+                    "lbm",
+                    2,
+                    4,
+                    0.06,
+                    BranchStyle::Regular,
+                    0.40,
+                    ws(64 * KB, 8 * MB, 0.0),
+                    0.68,
+                    0.50,
+                    0.30,
+                    900,
+                    4,
+                ),
+                phase(
+                    "lbm",
+                    3,
+                    4,
+                    0.05,
+                    BranchStyle::Regular,
+                    0.43,
+                    ws(32 * KB, 16 * MB, 0.0),
+                    0.70,
+                    0.55,
+                    0.30,
+                    1100,
+                    4,
+                ),
             ],
         },
         // libquantum: 5 phases. Quantum simulation: streaming over a
@@ -218,23 +563,166 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
         Benchmark {
             name: "libquantum",
             phases: vec![
-                phase("libquantum", 0, 5, 0.10, BranchStyle::Regular, 0.40, ws(16 * KB, 32 * MB, 0.0), 0.30, 0.65, 0.45, 2000, 4),
-                phase("libquantum", 1, 6, 0.08, BranchStyle::Regular, 0.42, ws(16 * KB, 32 * MB, 0.0), 0.28, 0.70, 0.45, 2500, 4),
-                phase("libquantum", 2, 5, 0.12, BranchStyle::Patterned, 0.38, ws(32 * KB, 16 * MB, 0.0), 0.30, 0.55, 0.40, 1500, 3),
-                phase("libquantum", 3, 6, 0.09, BranchStyle::Regular, 0.41, ws(16 * KB, 32 * MB, 0.0), 0.30, 0.65, 0.45, 2200, 4),
-                phase("libquantum", 4, 5, 0.10, BranchStyle::Regular, 0.40, ws(16 * KB, 24 * MB, 0.0), 0.28, 0.60, 0.40, 1800, 4),
+                phase(
+                    "libquantum",
+                    0,
+                    5,
+                    0.10,
+                    BranchStyle::Regular,
+                    0.40,
+                    ws(16 * KB, 32 * MB, 0.0),
+                    0.30,
+                    0.65,
+                    0.45,
+                    2000,
+                    4,
+                ),
+                phase(
+                    "libquantum",
+                    1,
+                    6,
+                    0.08,
+                    BranchStyle::Regular,
+                    0.42,
+                    ws(16 * KB, 32 * MB, 0.0),
+                    0.28,
+                    0.70,
+                    0.45,
+                    2500,
+                    4,
+                ),
+                phase(
+                    "libquantum",
+                    2,
+                    5,
+                    0.12,
+                    BranchStyle::Patterned,
+                    0.38,
+                    ws(32 * KB, 16 * MB, 0.0),
+                    0.30,
+                    0.55,
+                    0.40,
+                    1500,
+                    3,
+                ),
+                phase(
+                    "libquantum",
+                    3,
+                    6,
+                    0.09,
+                    BranchStyle::Regular,
+                    0.41,
+                    ws(16 * KB, 32 * MB, 0.0),
+                    0.30,
+                    0.65,
+                    0.45,
+                    2200,
+                    4,
+                ),
+                phase(
+                    "libquantum",
+                    4,
+                    5,
+                    0.10,
+                    BranchStyle::Regular,
+                    0.40,
+                    ws(16 * KB, 24 * MB, 0.0),
+                    0.28,
+                    0.60,
+                    0.40,
+                    1800,
+                    4,
+                ),
             ],
         },
         // mcf: 6 phases. Network simplex: pointer chasing, memory-bound.
         Benchmark {
             name: "mcf",
             phases: vec![
-                phase("mcf", 0, 5, 0.35, BranchStyle::Patterned, 0.46, ws(8 * MB, 256 * KB, 0.7), 0.01, 0.00, 0.40, 60, 1),
-                phase("mcf", 1, 6, 0.32, BranchStyle::Patterned, 0.48, ws(16 * MB, 256 * KB, 0.8), 0.01, 0.00, 0.40, 50, 1),
-                phase("mcf", 2, 5, 0.38, BranchStyle::Irregular, 0.44, ws(8 * MB, 128 * KB, 0.7), 0.01, 0.00, 0.35, 40, 1),
-                phase("mcf", 3, 6, 0.33, BranchStyle::Patterned, 0.47, ws(16 * MB, 256 * KB, 0.8), 0.01, 0.00, 0.40, 55, 1),
-                phase("mcf", 4, 5, 0.36, BranchStyle::Patterned, 0.45, ws(4 * MB, 512 * KB, 0.6), 0.01, 0.00, 0.35, 70, 2),
-                phase("mcf", 5, 6, 0.34, BranchStyle::Irregular, 0.46, ws(8 * MB, 256 * KB, 0.7), 0.01, 0.00, 0.40, 45, 1),
+                phase(
+                    "mcf",
+                    0,
+                    5,
+                    0.35,
+                    BranchStyle::Patterned,
+                    0.46,
+                    ws(8 * MB, 256 * KB, 0.7),
+                    0.01,
+                    0.00,
+                    0.40,
+                    60,
+                    1,
+                ),
+                phase(
+                    "mcf",
+                    1,
+                    6,
+                    0.32,
+                    BranchStyle::Patterned,
+                    0.48,
+                    ws(16 * MB, 256 * KB, 0.8),
+                    0.01,
+                    0.00,
+                    0.40,
+                    50,
+                    1,
+                ),
+                phase(
+                    "mcf",
+                    2,
+                    5,
+                    0.38,
+                    BranchStyle::Irregular,
+                    0.44,
+                    ws(8 * MB, 128 * KB, 0.7),
+                    0.01,
+                    0.00,
+                    0.35,
+                    40,
+                    1,
+                ),
+                phase(
+                    "mcf",
+                    3,
+                    6,
+                    0.33,
+                    BranchStyle::Patterned,
+                    0.47,
+                    ws(16 * MB, 256 * KB, 0.8),
+                    0.01,
+                    0.00,
+                    0.40,
+                    55,
+                    1,
+                ),
+                phase(
+                    "mcf",
+                    4,
+                    5,
+                    0.36,
+                    BranchStyle::Patterned,
+                    0.45,
+                    ws(4 * MB, 512 * KB, 0.6),
+                    0.01,
+                    0.00,
+                    0.35,
+                    70,
+                    2,
+                ),
+                phase(
+                    "mcf",
+                    5,
+                    6,
+                    0.34,
+                    BranchStyle::Irregular,
+                    0.46,
+                    ws(8 * MB, 256 * KB, 0.7),
+                    0.01,
+                    0.00,
+                    0.40,
+                    45,
+                    1,
+                ),
             ],
         },
         // milc: 6 phases. Lattice QCD: FP, predication-friendly in four
@@ -242,12 +730,90 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
         Benchmark {
             name: "milc",
             phases: vec![
-                phase("milc", 0, 7, 0.40, BranchStyle::Irregular, 0.38, ws(256 * KB, 8 * MB, 0.0), 0.55, 0.35, 0.25, 300, 3),
-                phase("milc", 1, 8, 0.42, BranchStyle::Irregular, 0.36, ws(256 * KB, 8 * MB, 0.0), 0.55, 0.30, 0.25, 280, 3),
-                phase("milc", 2, 6, 0.12, BranchStyle::Regular, 0.40, ws(128 * KB, 16 * MB, 0.0), 0.60, 0.50, 0.25, 800, 4),
-                phase("milc", 3, 7, 0.44, BranchStyle::Irregular, 0.37, ws(256 * KB, 8 * MB, 0.0), 0.52, 0.30, 0.25, 260, 3),
-                phase("milc", 4, 6, 0.10, BranchStyle::Regular, 0.41, ws(128 * KB, 16 * MB, 0.0), 0.58, 0.55, 0.25, 900, 4),
-                phase("milc", 5, 7, 0.41, BranchStyle::Irregular, 0.38, ws(256 * KB, 8 * MB, 0.0), 0.55, 0.35, 0.25, 300, 3),
+                phase(
+                    "milc",
+                    0,
+                    7,
+                    0.40,
+                    BranchStyle::Irregular,
+                    0.38,
+                    ws(256 * KB, 8 * MB, 0.0),
+                    0.55,
+                    0.35,
+                    0.25,
+                    300,
+                    3,
+                ),
+                phase(
+                    "milc",
+                    1,
+                    8,
+                    0.42,
+                    BranchStyle::Irregular,
+                    0.36,
+                    ws(256 * KB, 8 * MB, 0.0),
+                    0.55,
+                    0.30,
+                    0.25,
+                    280,
+                    3,
+                ),
+                phase(
+                    "milc",
+                    2,
+                    6,
+                    0.12,
+                    BranchStyle::Regular,
+                    0.40,
+                    ws(128 * KB, 16 * MB, 0.0),
+                    0.60,
+                    0.50,
+                    0.25,
+                    800,
+                    4,
+                ),
+                phase(
+                    "milc",
+                    3,
+                    7,
+                    0.44,
+                    BranchStyle::Irregular,
+                    0.37,
+                    ws(256 * KB, 8 * MB, 0.0),
+                    0.52,
+                    0.30,
+                    0.25,
+                    260,
+                    3,
+                ),
+                phase(
+                    "milc",
+                    4,
+                    6,
+                    0.10,
+                    BranchStyle::Regular,
+                    0.41,
+                    ws(128 * KB, 16 * MB, 0.0),
+                    0.58,
+                    0.55,
+                    0.25,
+                    900,
+                    4,
+                ),
+                phase(
+                    "milc",
+                    5,
+                    7,
+                    0.41,
+                    BranchStyle::Irregular,
+                    0.38,
+                    ws(256 * KB, 8 * MB, 0.0),
+                    0.55,
+                    0.35,
+                    0.25,
+                    300,
+                    3,
+                ),
             ],
         },
         // sjeng: 8 phases. Chess search: very irregular branches,
@@ -256,14 +822,118 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
         Benchmark {
             name: "sjeng",
             phases: vec![
-                phase("sjeng", 0, 8, 0.58, BranchStyle::Irregular, 0.30, ws(1 * MB, 128 * KB, 0.06), 0.01, 0.00, 0.20, 14, 2),
-                phase("sjeng", 1, 10, 0.62, BranchStyle::Irregular, 0.28, ws(2 * MB, 128 * KB, 0.06), 0.01, 0.00, 0.20, 12, 2),
-                phase("sjeng", 2, 7, 0.55, BranchStyle::Irregular, 0.32, ws(1 * MB, 256 * KB, 0.06), 0.01, 0.00, 0.18, 18, 2),
-                phase("sjeng", 3, 9, 0.60, BranchStyle::Irregular, 0.29, ws(2 * MB, 128 * KB, 0.06), 0.01, 0.00, 0.20, 13, 2),
-                phase("sjeng", 4, 8, 0.57, BranchStyle::Irregular, 0.31, ws(1 * MB, 128 * KB, 0.06), 0.01, 0.00, 0.18, 15, 2),
-                phase("sjeng", 5, 9, 0.63, BranchStyle::Irregular, 0.27, ws(2 * MB, 64 * KB, 0.06), 0.01, 0.00, 0.20, 11, 2),
-                phase("sjeng", 6, 7, 0.54, BranchStyle::Patterned, 0.32, ws(512 * KB, 256 * KB, 0.06), 0.01, 0.00, 0.18, 20, 3),
-                phase("sjeng", 7, 9, 0.59, BranchStyle::Irregular, 0.29, ws(2 * MB, 128 * KB, 0.06), 0.01, 0.00, 0.20, 13, 2),
+                phase(
+                    "sjeng",
+                    0,
+                    8,
+                    0.58,
+                    BranchStyle::Irregular,
+                    0.30,
+                    ws(1 * MB, 128 * KB, 0.06),
+                    0.01,
+                    0.00,
+                    0.20,
+                    14,
+                    2,
+                ),
+                phase(
+                    "sjeng",
+                    1,
+                    10,
+                    0.62,
+                    BranchStyle::Irregular,
+                    0.28,
+                    ws(2 * MB, 128 * KB, 0.06),
+                    0.01,
+                    0.00,
+                    0.20,
+                    12,
+                    2,
+                ),
+                phase(
+                    "sjeng",
+                    2,
+                    7,
+                    0.55,
+                    BranchStyle::Irregular,
+                    0.32,
+                    ws(1 * MB, 256 * KB, 0.06),
+                    0.01,
+                    0.00,
+                    0.18,
+                    18,
+                    2,
+                ),
+                phase(
+                    "sjeng",
+                    3,
+                    9,
+                    0.60,
+                    BranchStyle::Irregular,
+                    0.29,
+                    ws(2 * MB, 128 * KB, 0.06),
+                    0.01,
+                    0.00,
+                    0.20,
+                    13,
+                    2,
+                ),
+                phase(
+                    "sjeng",
+                    4,
+                    8,
+                    0.57,
+                    BranchStyle::Irregular,
+                    0.31,
+                    ws(1 * MB, 128 * KB, 0.06),
+                    0.01,
+                    0.00,
+                    0.18,
+                    15,
+                    2,
+                ),
+                phase(
+                    "sjeng",
+                    5,
+                    9,
+                    0.63,
+                    BranchStyle::Irregular,
+                    0.27,
+                    ws(2 * MB, 64 * KB, 0.06),
+                    0.01,
+                    0.00,
+                    0.20,
+                    11,
+                    2,
+                ),
+                phase(
+                    "sjeng",
+                    6,
+                    7,
+                    0.54,
+                    BranchStyle::Patterned,
+                    0.32,
+                    ws(512 * KB, 256 * KB, 0.06),
+                    0.01,
+                    0.00,
+                    0.18,
+                    20,
+                    3,
+                ),
+                phase(
+                    "sjeng",
+                    7,
+                    9,
+                    0.59,
+                    BranchStyle::Irregular,
+                    0.29,
+                    ws(2 * MB, 128 * KB, 0.06),
+                    0.01,
+                    0.00,
+                    0.20,
+                    13,
+                    2,
+                ),
             ],
         },
     ]
@@ -271,7 +941,10 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
 
 /// Flattens all benchmarks into their 49 phases.
 pub fn all_phases() -> Vec<PhaseSpec> {
-    all_benchmarks().into_iter().flat_map(|b| b.phases).collect()
+    all_benchmarks()
+        .into_iter()
+        .flat_map(|b| b.phases)
+        .collect()
 }
 
 /// Looks up one benchmark by name.
@@ -295,7 +968,16 @@ mod tests {
         let names: Vec<_> = b.iter().map(|x| x.name).collect();
         assert_eq!(
             names,
-            vec!["bzip2", "gobmk", "hmmer", "lbm", "libquantum", "mcf", "milc", "sjeng"]
+            vec![
+                "bzip2",
+                "gobmk",
+                "hmmer",
+                "lbm",
+                "libquantum",
+                "mcf",
+                "milc",
+                "sjeng"
+            ]
         );
     }
 

@@ -21,7 +21,7 @@ use rand::{Rng, SeedableRng};
 
 use cisa_compiler::ir::{
     AddrExpr, BlockId, BranchBehavior, BranchPattern, IrBlock, IrFunction, IrInst, IrOp,
-    Terminator, VectorizableHint, VReg,
+    Terminator, VReg, VectorizableHint,
 };
 
 use crate::benchmarks::{BranchStyle, PhaseSpec};
@@ -249,7 +249,12 @@ impl<'s> Generator<'s> {
             let cond = self.func.new_vreg();
             let mut entry = IrBlock::new(Terminator::Ret, HOT_WEIGHT); // wired later
             entry.loop_depth = 1;
-            entry.insts.push(IrInst::compute(IrOp::Cmp, cond, cond_src, self.consts[k % 3]));
+            entry.insts.push(IrInst::compute(
+                IrOp::Cmp,
+                cond,
+                cond_src,
+                self.consts[k % 3],
+            ));
             let diamond = self.rng.gen::<f64>() < 0.6;
             let arm_len = self.rng.gen_range(2..6);
             let mut t = IrBlock::new(Terminator::Ret, HOT_WEIGHT * behavior.taken_prob);
@@ -268,10 +273,7 @@ impl<'s> Generator<'s> {
                 prev = v;
             }
             let f = if diamond {
-                let mut f = IrBlock::new(
-                    Terminator::Ret,
-                    HOT_WEIGHT * (1.0 - behavior.taken_prob),
-                );
+                let mut f = IrBlock::new(Terminator::Ret, HOT_WEIGHT * (1.0 - behavior.taken_prob));
                 f.loop_depth = 1;
                 let mut prev = cond_src;
                 for _ in 0..self.rng.gen_range(2..5) {
@@ -309,13 +311,35 @@ impl<'s> Generator<'s> {
             let x = self.func.new_vreg();
             let y = self.func.new_vreg();
             let z = self.func.new_vreg();
-            v.insts.push(IrInst::load(x, AddrExpr::base_index(self.base_stream, self.induction, 0), MemLocality::Stream));
-            v.insts.push(IrInst::load(y, AddrExpr::base_index(self.base_stream, self.induction, 16), MemLocality::Stream));
-            v.insts.push(IrInst::compute(if spec.fp_fraction > 0.3 { IrOp::FpAlu } else { IrOp::IntAlu }, z, x, y));
+            v.insts.push(IrInst::load(
+                x,
+                AddrExpr::base_index(self.base_stream, self.induction, 0),
+                MemLocality::Stream,
+            ));
+            v.insts.push(IrInst::load(
+                y,
+                AddrExpr::base_index(self.base_stream, self.induction, 16),
+                MemLocality::Stream,
+            ));
+            v.insts.push(IrInst::compute(
+                if spec.fp_fraction > 0.3 {
+                    IrOp::FpAlu
+                } else {
+                    IrOp::IntAlu
+                },
+                z,
+                x,
+                y,
+            ));
             v.insts.push(IrInst::compute(IrOp::FpMul, z, z, x));
-            v.insts.push(IrInst::store(z, AddrExpr::base_index(self.base_stream, self.induction, 32), MemLocality::Stream));
+            v.insts.push(IrInst::store(
+                z,
+                AddrExpr::base_index(self.base_stream, self.induction, 32),
+                MemLocality::Stream,
+            ));
             let vc = self.func.new_vreg();
-            v.insts.push(IrInst::compute(IrOp::Cmp, vc, z, self.consts[0]));
+            v.insts
+                .push(IrInst::compute(IrOp::Cmp, vc, z, self.consts[0]));
             Some((v, vc))
         } else {
             None
@@ -325,9 +349,16 @@ impl<'s> Generator<'s> {
         let mut latch = IrBlock::new(Terminator::Ret, HOT_WEIGHT);
         latch.loop_depth = 1;
         let next_ind = self.func.new_vreg();
-        latch.insts.push(IrInst::compute(IrOp::IntAlu, next_ind, self.induction, self.consts[0]));
+        latch.insts.push(IrInst::compute(
+            IrOp::IntAlu,
+            next_ind,
+            self.induction,
+            self.consts[0],
+        ));
         let lc = self.func.new_vreg();
-        latch.insts.push(IrInst::compute(IrOp::Cmp, lc, next_ind, self.consts[1]));
+        latch
+            .insts
+            .push(IrInst::compute(IrOp::Cmp, lc, next_ind, self.consts[1]));
 
         // --- assemble & wire ids ---
         self.func.add_block(preheader); // 0
@@ -391,7 +422,7 @@ impl<'s> Generator<'s> {
                 taken: BlockId(id),
                 not_taken: BlockId(latch_id),
                 behavior: BranchBehavior::loop_back(
-                    (spec.vector_fraction * 48.0).round().max(2.0) as u32,
+                    (spec.vector_fraction * 48.0).round().max(2.0) as u32
                 ),
             };
             self.func.add_block(v);
@@ -500,13 +531,19 @@ mod tests {
 
     #[test]
     fn lbm_vector_loop_shrinks_under_sse() {
-        let spec = all_phases().into_iter().find(|p| p.benchmark == "lbm").unwrap();
+        let spec = all_phases()
+            .into_iter()
+            .find(|p| p.benchmark == "lbm")
+            .unwrap();
         let ir = generate(&spec);
         let opts = CompileOptions::default();
         let sse = compile(&ir, &FeatureSet::x86_64(), &opts).unwrap();
         let scalar = compile(&ir, &"microx86-16D-32W".parse().unwrap(), &opts).unwrap();
         let sse_vec_block = sse.blocks.iter().find(|b| b.vectorized);
-        assert!(sse_vec_block.is_some(), "lbm must have a vectorized block under SSE");
+        assert!(
+            sse_vec_block.is_some(),
+            "lbm must have a vectorized block under SSE"
+        );
         assert!(
             sse.stats.fp_vec_ops() < scalar.stats.fp_vec_ops(),
             "packed execution reduces dynamic FP op count"
@@ -515,7 +552,10 @@ mod tests {
 
     #[test]
     fn branchy_benchmarks_get_if_converted() {
-        let spec = all_phases().into_iter().find(|p| p.benchmark == "sjeng").unwrap();
+        let spec = all_phases()
+            .into_iter()
+            .find(|p| p.benchmark == "sjeng")
+            .unwrap();
         let ir = generate(&spec);
         let opts = CompileOptions::default();
         let full = compile(&ir, &FeatureSet::superset(), &opts).unwrap();
@@ -529,8 +569,16 @@ mod tests {
 
     #[test]
     fn mcf_is_load_heavy() {
-        let spec = all_phases().into_iter().find(|p| p.benchmark == "mcf").unwrap();
-        let code = compile(&generate(&spec), &FeatureSet::x86_64(), &CompileOptions::default()).unwrap();
+        let spec = all_phases()
+            .into_iter()
+            .find(|p| p.benchmark == "mcf")
+            .unwrap();
+        let code = compile(
+            &generate(&spec),
+            &FeatureSet::x86_64(),
+            &CompileOptions::default(),
+        )
+        .unwrap();
         let mem_share = code.stats.mem_refs() / code.stats.total_uops();
         assert!(mem_share > 0.25, "mcf memory share too low: {mem_share}");
     }

@@ -70,7 +70,11 @@ pub struct Phases {
 ///
 /// Panics if `k` is zero or exceeds the number of BBVs.
 pub fn cluster(bbvs: &[Bbv], k: usize, seed: u64) -> Phases {
-    assert!(k >= 1 && k <= bbvs.len(), "bad k={k} for {} bbvs", bbvs.len());
+    assert!(
+        k >= 1 && k <= bbvs.len(),
+        "bad k={k} for {} bbvs",
+        bbvs.len()
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let dim = bbvs[0].freqs.len();
 
@@ -162,12 +166,12 @@ pub fn cluster(bbvs: &[Bbv], k: usize, seed: u64) -> Phases {
             })
             .unwrap();
     }
-    for c in 0..k {
+    for (c, centroid) in centroids.iter().enumerate() {
         if !assignment.contains(&c) {
             let closest = (0..bbvs.len())
                 .min_by(|&x, &y| {
-                    dist2(&bbvs[x].freqs, &centroids[c])
-                        .partial_cmp(&dist2(&bbvs[y].freqs, &centroids[c]))
+                    dist2(&bbvs[x].freqs, centroid)
+                        .partial_cmp(&dist2(&bbvs[y].freqs, centroid))
                         .unwrap()
                 })
                 .unwrap();
@@ -178,14 +182,14 @@ pub fn cluster(bbvs: &[Bbv], k: usize, seed: u64) -> Phases {
     // Representatives: the BBV closest to each centroid.
     let mut representatives = Vec::with_capacity(k);
     let mut weights = Vec::with_capacity(k);
-    for c in 0..k {
+    for (c, centroid) in centroids.iter().enumerate() {
         let members: Vec<usize> = (0..bbvs.len()).filter(|&i| assignment[i] == c).collect();
         let rep = members
             .iter()
             .copied()
             .min_by(|&x, &y| {
-                dist2(&bbvs[x].freqs, &centroids[c])
-                    .partial_cmp(&dist2(&bbvs[y].freqs, &centroids[c]))
+                dist2(&bbvs[x].freqs, centroid)
+                    .partial_cmp(&dist2(&bbvs[y].freqs, centroid))
                     .unwrap()
             })
             .unwrap_or(0);
@@ -256,7 +260,10 @@ mod tests {
         let bbvs = build_bbvs(&s, 4, 500);
         let phases = cluster(&bbvs, 3, 7);
         for (c, &rep) in phases.representatives.iter().enumerate() {
-            assert_eq!(phases.assignment[rep], c, "representative must belong to its cluster");
+            assert_eq!(
+                phases.assignment[rep], c,
+                "representative must belong to its cluster"
+            );
         }
     }
 

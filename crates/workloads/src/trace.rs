@@ -159,7 +159,9 @@ impl TraceGenerator {
                 pc += len as u64;
             }
             let (term_len, state) = match &b.term {
-                Terminator::Branch { behavior, taken, .. } => {
+                Terminator::Branch {
+                    behavior, taken, ..
+                } => {
                     let lanes_scale = if b.vectorized { 4 } else { 1 };
                     let state = match behavior.pattern {
                         BranchPattern::LoopBack { trip } => {
@@ -174,8 +176,7 @@ impl TraceGenerator {
                         }
                         BranchPattern::Periodic { period } => {
                             let period = period.max(2) as usize;
-                            let takens =
-                                (behavior.taken_prob * period as f64).round() as usize;
+                            let takens = (behavior.taken_prob * period as f64).round() as usize;
                             let mut bits = vec![false; period];
                             for slot in bits.iter_mut().take(takens) {
                                 *slot = true;
@@ -306,134 +307,144 @@ impl Iterator for TraceGenerator {
         if self.emitted >= self.max_uops {
             return None;
         }
-        loop {
-            let block = &self.blocks[self.cur_block];
-            if self.cur_inst < block.insts.len() {
-                let sinst = &block.insts[self.cur_inst];
-                let uop = sinst.uops[self.cur_uop];
-                let first = self.cur_uop == 0;
-                let macro_uops = sinst.uops.len() as u8;
-                let pc = sinst.pc;
-                let len = sinst.len;
-                let vector = block.vectorized;
-                let locality = sinst.inst.mem.map(|m| m.locality).or_else(|| {
-                    uop.kind.is_mem().then_some(MemLocality::Stack)
-                });
-                let (bid, iid) = (self.cur_block as u32, self.cur_inst as u32);
-                let is_wide_vec = vector || sinst.inst.wide;
-
-                self.cur_uop += 1;
-                if self.cur_uop >= sinst.uops.len() {
-                    self.cur_uop = 0;
-                    self.cur_inst += 1;
-                }
-                let mem_addr = if uop.kind.is_mem() {
-                    self.mem_addr(locality.unwrap_or(MemLocality::Stack), bid, iid, is_wide_vec)
-                } else {
-                    0
-                };
-                self.emitted += 1;
-                return Some(DynUop {
-                    kind: uop.kind,
-                    dst: uop.dst,
-                    src1: uop.src1,
-                    src2: uop.src2,
-                    pred: uop.pred,
-                    pc,
-                    len,
-                    first,
-                    macro_uops,
-                    mem_addr,
-                    mem_locality: uop.kind.is_mem().then(|| locality.unwrap_or(MemLocality::Stack)),
-                    taken: false,
-                    target: 0,
-                    vector,
-                });
-            }
-
-            // Terminator.
-            let term = block.term;
-            let term_pc = block.term_pc;
-            let term_len = block.term_len;
-            let end_pc = block.end_pc;
+        let block = &self.blocks[self.cur_block];
+        if self.cur_inst < block.insts.len() {
+            let sinst = &block.insts[self.cur_inst];
+            let uop = sinst.uops[self.cur_uop];
+            let first = self.cur_uop == 0;
+            let macro_uops = sinst.uops.len() as u8;
+            let pc = sinst.pc;
+            let len = sinst.len;
             let vector = block.vectorized;
-            let bid = self.cur_block;
-            match term {
-                Terminator::Branch { taken, not_taken, .. } => {
-                    let t = self.sample_branch(bid);
-                    let (next, target) = if t {
-                        (taken.idx(), self.block_pcs[taken.idx()])
-                    } else {
-                        (not_taken.idx(), self.block_pcs[not_taken.idx()])
-                    };
-                    self.cur_block = next;
-                    self.cur_inst = 0;
-                    self.cur_uop = 0;
-                    self.emitted += 1;
-                    return Some(DynUop {
-                        kind: MicroOpKind::Branch,
-                        dst: MicroOp::NO_REG,
-                        src1: MicroOp::NO_REG,
-                        src2: MicroOp::NO_REG,
-                        pred: MicroOp::NO_REG,
-                        pc: term_pc,
-                        len: term_len,
-                        first: true,
-                        macro_uops: 1,
-                        mem_addr: 0,
-                        mem_locality: None,
-                        taken: t,
-                        target: if t { target } else { end_pc },
-                        vector,
-                    });
-                }
-                Terminator::Jump(t) => {
-                    let target = self.block_pcs[t.idx()];
-                    self.cur_block = t.idx();
-                    self.cur_inst = 0;
-                    self.cur_uop = 0;
-                    self.emitted += 1;
-                    return Some(DynUop {
-                        kind: MicroOpKind::Jump,
-                        dst: MicroOp::NO_REG,
-                        src1: MicroOp::NO_REG,
-                        src2: MicroOp::NO_REG,
-                        pred: MicroOp::NO_REG,
-                        pc: term_pc,
-                        len: term_len,
-                        first: true,
-                        macro_uops: 1,
-                        mem_addr: 0,
-                        mem_locality: None,
-                        taken: true,
-                        target,
-                        vector,
-                    });
-                }
-                Terminator::Ret => {
-                    // Phase repeats: restart at the entry block.
-                    self.iterations += 1;
-                    self.cur_block = 0;
-                    self.cur_inst = 0;
-                    self.cur_uop = 0;
-                    self.emitted += 1;
-                    return Some(DynUop {
-                        kind: MicroOpKind::Jump,
-                        dst: MicroOp::NO_REG,
-                        src1: MicroOp::NO_REG,
-                        src2: MicroOp::NO_REG,
-                        pred: MicroOp::NO_REG,
-                        pc: term_pc,
-                        len: term_len,
-                        first: true,
-                        macro_uops: 1,
-                        mem_addr: 0,
-                        mem_locality: None,
-                        taken: true,
-                        target: self.block_pcs[0],
-                        vector,
-                    });
-                }
+            let locality = sinst
+                .inst
+                .mem
+                .map(|m| m.locality)
+                .or_else(|| uop.kind.is_mem().then_some(MemLocality::Stack));
+            let (bid, iid) = (self.cur_block as u32, self.cur_inst as u32);
+            let is_wide_vec = vector || sinst.inst.wide;
+
+            self.cur_uop += 1;
+            if self.cur_uop >= sinst.uops.len() {
+                self.cur_uop = 0;
+                self.cur_inst += 1;
+            }
+            let mem_addr = if uop.kind.is_mem() {
+                self.mem_addr(
+                    locality.unwrap_or(MemLocality::Stack),
+                    bid,
+                    iid,
+                    is_wide_vec,
+                )
+            } else {
+                0
+            };
+            self.emitted += 1;
+            return Some(DynUop {
+                kind: uop.kind,
+                dst: uop.dst,
+                src1: uop.src1,
+                src2: uop.src2,
+                pred: uop.pred,
+                pc,
+                len,
+                first,
+                macro_uops,
+                mem_addr,
+                mem_locality: uop
+                    .kind
+                    .is_mem()
+                    .then(|| locality.unwrap_or(MemLocality::Stack)),
+                taken: false,
+                target: 0,
+                vector,
+            });
+        }
+
+        // Terminator.
+        let term = block.term;
+        let term_pc = block.term_pc;
+        let term_len = block.term_len;
+        let end_pc = block.end_pc;
+        let vector = block.vectorized;
+        let bid = self.cur_block;
+        match term {
+            Terminator::Branch {
+                taken, not_taken, ..
+            } => {
+                let t = self.sample_branch(bid);
+                let (next, target) = if t {
+                    (taken.idx(), self.block_pcs[taken.idx()])
+                } else {
+                    (not_taken.idx(), self.block_pcs[not_taken.idx()])
+                };
+                self.cur_block = next;
+                self.cur_inst = 0;
+                self.cur_uop = 0;
+                self.emitted += 1;
+                Some(DynUop {
+                    kind: MicroOpKind::Branch,
+                    dst: MicroOp::NO_REG,
+                    src1: MicroOp::NO_REG,
+                    src2: MicroOp::NO_REG,
+                    pred: MicroOp::NO_REG,
+                    pc: term_pc,
+                    len: term_len,
+                    first: true,
+                    macro_uops: 1,
+                    mem_addr: 0,
+                    mem_locality: None,
+                    taken: t,
+                    target: if t { target } else { end_pc },
+                    vector,
+                })
+            }
+            Terminator::Jump(t) => {
+                let target = self.block_pcs[t.idx()];
+                self.cur_block = t.idx();
+                self.cur_inst = 0;
+                self.cur_uop = 0;
+                self.emitted += 1;
+                Some(DynUop {
+                    kind: MicroOpKind::Jump,
+                    dst: MicroOp::NO_REG,
+                    src1: MicroOp::NO_REG,
+                    src2: MicroOp::NO_REG,
+                    pred: MicroOp::NO_REG,
+                    pc: term_pc,
+                    len: term_len,
+                    first: true,
+                    macro_uops: 1,
+                    mem_addr: 0,
+                    mem_locality: None,
+                    taken: true,
+                    target,
+                    vector,
+                })
+            }
+            Terminator::Ret => {
+                // Phase repeats: restart at the entry block.
+                self.iterations += 1;
+                self.cur_block = 0;
+                self.cur_inst = 0;
+                self.cur_uop = 0;
+                self.emitted += 1;
+                Some(DynUop {
+                    kind: MicroOpKind::Jump,
+                    dst: MicroOp::NO_REG,
+                    src1: MicroOp::NO_REG,
+                    src2: MicroOp::NO_REG,
+                    pred: MicroOp::NO_REG,
+                    pc: term_pc,
+                    len: term_len,
+                    first: true,
+                    macro_uops: 1,
+                    mem_addr: 0,
+                    mem_locality: None,
+                    taken: true,
+                    target: self.block_pcs[0],
+                    vector,
+                })
             }
         }
     }
@@ -448,7 +459,10 @@ mod tests {
     use cisa_isa::FeatureSet;
 
     fn trace_for(bench: &str, fs: FeatureSet, n: usize) -> (Vec<DynUop>, PhaseSpec) {
-        let spec = all_phases().into_iter().find(|p| p.benchmark == bench).unwrap();
+        let spec = all_phases()
+            .into_iter()
+            .find(|p| p.benchmark == bench)
+            .unwrap();
         let code = compile(&generate(&spec), &fs, &CompileOptions::default()).unwrap();
         let tg = TraceGenerator::new(
             &code,
@@ -504,8 +518,7 @@ mod tests {
         let (t, _) = trace_for("sjeng", FeatureSet::x86_64(), 50_000);
         let branches: Vec<_> = t.iter().filter(|u| u.kind == MicroOpKind::Branch).collect();
         assert!(!branches.is_empty());
-        let taken_rate =
-            branches.iter().filter(|u| u.taken).count() as f64 / branches.len() as f64;
+        let taken_rate = branches.iter().filter(|u| u.taken).count() as f64 / branches.len() as f64;
         // sjeng's branches are random around 0.35..0.65 plus loop
         // back-edges (mostly taken): overall rate must be sane.
         assert!((0.2..0.95).contains(&taken_rate), "taken rate {taken_rate}");
@@ -543,7 +556,10 @@ mod tests {
         // Group stream accesses by their static instruction (PC): each
         // cursor advances by its stride until it wraps.
         let mut by_pc: std::collections::HashMap<u64, Vec<u64>> = std::collections::HashMap::new();
-        for u in t.iter().filter(|u| u.mem_locality == Some(MemLocality::Stream)) {
+        for u in t
+            .iter()
+            .filter(|u| u.mem_locality == Some(MemLocality::Stream))
+        {
             by_pc.entry(u.pc).or_default().push(u.mem_addr);
         }
         assert!(!by_pc.is_empty(), "libquantum must stream");
@@ -564,20 +580,29 @@ mod tests {
 
     #[test]
     fn wider_isa_increases_working_set() {
-        let spec = all_phases().into_iter().find(|p| p.benchmark == "mcf").unwrap();
+        let spec = all_phases()
+            .into_iter()
+            .find(|p| p.benchmark == "mcf")
+            .unwrap();
         let ir = generate(&spec);
         let opts = CompileOptions::default();
         let c32 = compile(&ir, &"x86-16D-32W".parse().unwrap(), &opts).unwrap();
         let c64 = compile(&ir, &"x86-16D-64W".parse().unwrap(), &opts).unwrap();
         let t32 = TraceGenerator::new(&c32, &spec, TraceParams::default());
         let t64 = TraceGenerator::new(&c64, &spec, TraceParams::default());
-        assert!(t64.ws_bytes > t32.ws_bytes, "fat pointers expand the working set");
+        assert!(
+            t64.ws_bytes > t32.ws_bytes,
+            "fat pointers expand the working set"
+        );
     }
 
     #[test]
     fn vectorized_blocks_mark_uops() {
         let (t, _) = trace_for("lbm", FeatureSet::x86_64(), 40_000);
-        assert!(t.iter().any(|u| u.vector), "lbm trace must contain vector-block uops");
+        assert!(
+            t.iter().any(|u| u.vector),
+            "lbm trace must contain vector-block uops"
+        );
         let (ts, _) = trace_for("lbm", "microx86-16D-32W".parse().unwrap(), 40_000);
         assert!(
             ts.iter().all(|u| u.kind != MicroOpKind::VecAlu),

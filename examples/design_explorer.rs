@@ -12,8 +12,12 @@ use composite_isa::workloads::all_phases;
 
 fn main() {
     let space = DesignSpace::new();
-    println!("design space: {} feature sets x {} microarchitectures = {} points",
-        space.feature_sets.len(), space.microarchs.len(), space.len());
+    println!(
+        "design space: {} feature sets x {} microarchitectures = {} points",
+        space.feature_sets.len(),
+        space.microarchs.len(),
+        space.len()
+    );
 
     // One phase per benchmark keeps this example under a minute.
     let phases: Vec<_> = all_phases().into_iter().filter(|p| p.index == 0).collect();
@@ -23,8 +27,14 @@ fn main() {
     let cfg = SearchConfig::default();
 
     for kind in [SystemKind::SingleIsaHetero, SystemKind::CompositeFull] {
-        let r = search_system(&eval, kind, Objective::Throughput, Budget::PeakPower(40.0), &cfg)
-            .expect("40W is feasible");
+        let r = search_system(
+            &eval,
+            kind,
+            Objective::Throughput,
+            Budget::PeakPower(40.0),
+            &cfg,
+        )
+        .expect("40W is feasible");
         println!("\n{} (score {:.3}):", kind.label(), r.score);
         for c in &r.cores {
             println!("  {}", c.describe(&space));

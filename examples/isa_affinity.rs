@@ -5,8 +5,8 @@
 //! cargo run --release --example isa_affinity
 //! ```
 
-use composite_isa::explore::{evaluate, probe};
 use composite_isa::explore::space::all_microarchs;
+use composite_isa::explore::{evaluate, probe};
 use composite_isa::isa::FeatureSet;
 use composite_isa::sim::ExecSemantics;
 use composite_isa::workloads::all_benchmarks;
@@ -15,9 +15,20 @@ fn main() {
     // A mid-range OoO microarchitecture.
     let ua = all_microarchs()
         .into_iter()
-        .find(|u| u.sem == ExecSemantics::OutOfOrder && u.width == 2 && u.int_alu == 3 && u.fp_alu == 1 && u.l1_kb == 32 && u.l2_kb == 1024 && u.window.rob == 64)
+        .find(|u| {
+            u.sem == ExecSemantics::OutOfOrder
+                && u.width == 2
+                && u.int_alu == 3
+                && u.fp_alu == 1
+                && u.l1_kb == 32
+                && u.l2_kb == 1024
+                && u.window.rob == 64
+        })
         .expect("reference microarch");
-    println!("feature-set affinity on {:?}-wide OoO (lower time wins):\n", ua.width);
+    println!(
+        "feature-set affinity on {:?}-wide OoO (lower time wins):\n",
+        ua.width
+    );
     for b in all_benchmarks() {
         let spec = &b.phases[0];
         let mut best: Option<(FeatureSet, f64)> = None;
@@ -26,17 +37,22 @@ fn main() {
             let prof = probe(spec, fs);
             let perf = evaluate(&prof, &ua, &ua.with_fs(fs));
             let t = perf.cycles_per_unit;
-            if best.map_or(true, |(_, bt)| t < bt) {
+            if best.is_none_or(|(_, bt)| t < bt) {
                 best = Some((fs, t));
             }
-            if worst.map_or(true, |(_, wt)| t > wt) {
+            if worst.is_none_or(|(_, wt)| t > wt) {
                 worst = Some((fs, t));
             }
         }
         let (bfs, bt) = best.expect("26 sets");
         let (wfs, wt) = worst.expect("26 sets");
-        println!("{:<12} best {:<20} worst {:<20} spread {:.2}x",
-            b.name, bfs.to_string(), wfs.to_string(), wt / bt);
+        println!(
+            "{:<12} best {:<20} worst {:<20} spread {:.2}x",
+            b.name,
+            bfs.to_string(),
+            wfs.to_string(),
+            wt / bt
+        );
     }
     println!("\nhmmer wants depth 64; lbm wants SSE; branchy codes want full predication.");
 }

@@ -17,18 +17,33 @@ fn main() {
         .expect("sjeng exists");
     let superset = FeatureSet::superset();
     let code = compile(&generate(&spec), &superset, &CompileOptions::default()).expect("compiles");
-    println!("{} compiled for {}: {:.0} uops/unit", spec.name(), superset, code.stats.total_uops());
+    println!(
+        "{} compiled for {}: {:.0} uops/unit",
+        spec.name(),
+        superset,
+        code.stats.total_uops()
+    );
 
-    for target in ["x86-64D-64W", "x86-16D-64W", "microx86-16D-32W", "microx86-8D-32W"] {
+    for target in [
+        "x86-64D-64W",
+        "x86-16D-64W",
+        "microx86-16D-32W",
+        "microx86-8D-32W",
+    ] {
         let fs: FeatureSet = target.parse().expect("valid");
         let (emulated, stats) = emulate(&code, &fs);
         let cost = downgrade_cost(&spec, superset, fs);
-        println!("\nmigrate to {target} ({} feature gaps):", fs.downgrade_gaps(&superset).len());
+        println!(
+            "\nmigrate to {target} ({} feature gaps):",
+            fs.downgrade_gaps(&superset).len()
+        );
         println!("  emulation: {} mem-op expansions, {} RCB accesses, {} double-pumps, {} reverse if-conversions",
             stats.expanded_mem_ops, stats.rcb_accesses, stats.double_pumped, stats.reverse_if_conversions);
-        println!("  static instructions: {} -> {}",
+        println!(
+            "  static instructions: {} -> {}",
             code.blocks.iter().map(|b| b.insts.len()).sum::<usize>(),
-            emulated.blocks.iter().map(|b| b.insts.len()).sum::<usize>());
+            emulated.blocks.iter().map(|b| b.insts.len()).sum::<usize>()
+        );
         println!("  measured slowdown: {:+.1}%", (cost - 1.0) * 100.0);
     }
     println!("\nupgrades (moving to a covering core) are always free: no translation at all.");

@@ -34,14 +34,20 @@ fn main() {
         // compare cycles and energy *per work unit*, not per uop.
         let units = params.max_uops as f64 / code.stats.total_uops();
         println!("\n{fs_name} on {}:", cfg.describe());
-        println!("  spill refills/unit: {:.0}", code.stats.regalloc.dyn_refill_loads);
+        println!(
+            "  spill refills/unit: {:.0}",
+            code.stats.regalloc.dyn_refill_loads
+        );
         println!(
             "  IPC {:.3}  cycles/work-unit {:.0}  energy/work-unit {:.2e} J",
             result.ipc(),
             result.cycles as f64 / units,
             e.total_j / units
         );
-        println!("  core budget: {:.1} W peak, {:.1} mm2", b.peak_power_w, b.area_mm2);
+        println!(
+            "  core budget: {:.1} W peak, {:.1} mm2",
+            b.peak_power_w, b.area_mm2
+        );
     }
     println!("\nhmmer wants 64 registers: the depth-64 run eliminates the spill refills.");
 }

@@ -4,14 +4,24 @@
 
 use composite_isa::compiler::{compile, CompileOptions};
 use composite_isa::isa::{Complexity, FeatureSet};
-use composite_isa::power::{core_budget, energy};
+use composite_isa::power::energy;
 use composite_isa::sim::{simulate, CoreConfig};
 use composite_isa::workloads::{all_phases, generate, TraceGenerator, TraceParams};
 
 fn run(bench: &str, fs: FeatureSet, cfg: &CoreConfig, uops: usize) -> (f64, f64) {
-    let spec = all_phases().into_iter().find(|p| p.benchmark == bench).unwrap();
+    let spec = all_phases()
+        .into_iter()
+        .find(|p| p.benchmark == bench)
+        .unwrap();
     let code = compile(&generate(&spec), &fs, &CompileOptions::default()).unwrap();
-    let trace = TraceGenerator::new(&code, &spec, TraceParams { max_uops: uops, seed: 1 });
+    let trace = TraceGenerator::new(
+        &code,
+        &spec,
+        TraceParams {
+            max_uops: uops,
+            seed: 1,
+        },
+    );
     let result = simulate(cfg, trace);
     let e = energy(cfg, &result);
     // Work-normalized: cycles per unit of phase work.
@@ -21,12 +31,22 @@ fn run(bench: &str, fs: FeatureSet, cfg: &CoreConfig, uops: usize) -> (f64, f64)
 
 #[test]
 fn full_pipeline_runs_for_every_feature_set() {
-    let spec = all_phases().into_iter().find(|p| p.benchmark == "milc").unwrap();
+    let spec = all_phases()
+        .into_iter()
+        .find(|p| p.benchmark == "milc")
+        .unwrap();
     let ir = generate(&spec);
     for fs in FeatureSet::all() {
-        let code = compile(&ir, &fs, &CompileOptions::default())
-            .unwrap_or_else(|e| panic!("{fs}: {e}"));
-        let trace = TraceGenerator::new(&code, &spec, TraceParams { max_uops: 4000, seed: 2 });
+        let code =
+            compile(&ir, &fs, &CompileOptions::default()).unwrap_or_else(|e| panic!("{fs}: {e}"));
+        let trace = TraceGenerator::new(
+            &code,
+            &spec,
+            TraceParams {
+                max_uops: 4000,
+                seed: 2,
+            },
+        );
         let cfg = CoreConfig::reference(fs);
         let r = simulate(&cfg, trace);
         assert!(r.cycles > 0 && r.activity.uops == 4000, "{fs}");
@@ -72,8 +92,14 @@ fn little_cores_save_energy_big_cores_save_time() {
 
 #[test]
 fn microx86_is_single_uop_end_to_end() {
-    let spec = all_phases().into_iter().find(|p| p.benchmark == "gobmk").unwrap();
-    for fs in FeatureSet::all().into_iter().filter(|f| f.complexity() == Complexity::MicroX86) {
+    let spec = all_phases()
+        .into_iter()
+        .find(|p| p.benchmark == "gobmk")
+        .unwrap();
+    for fs in FeatureSet::all()
+        .into_iter()
+        .filter(|f| f.complexity() == Complexity::MicroX86)
+    {
         let code = compile(&generate(&spec), &fs, &CompileOptions::default()).unwrap();
         for b in &code.blocks {
             for inst in &b.insts {
@@ -91,7 +117,10 @@ fn microx86_is_single_uop_end_to_end() {
 fn code_density_shrinks_with_fewer_prefixes() {
     // Deep register files cost REXBC prefixes: depth-64 code must be
     // larger than the same phase at depth 16.
-    let spec = all_phases().into_iter().find(|p| p.benchmark == "hmmer").unwrap();
+    let spec = all_phases()
+        .into_iter()
+        .find(|p| p.benchmark == "hmmer")
+        .unwrap();
     let ir = generate(&spec);
     let opts = CompileOptions::default();
     let c16 = compile(&ir, &"microx86-16D-32W".parse().unwrap(), &opts).unwrap();

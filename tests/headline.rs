@@ -43,7 +43,11 @@ fn score_of(v: &[(SystemKind, f64)], k: SystemKind) -> f64 {
 
 #[test]
 fn composite_beats_single_isa_heterogeneous_on_throughput() {
-    for budget in [Budget::PeakPower(20.0), Budget::PeakPower(40.0), Budget::Area(64.0)] {
+    for budget in [
+        Budget::PeakPower(20.0),
+        Budget::PeakPower(40.0),
+        Budget::Area(64.0),
+    ] {
         let v = scores(Objective::Throughput, budget);
         let composite = score_of(&v, SystemKind::CompositeFull);
         let single = score_of(&v, SystemKind::SingleIsaHetero);
@@ -75,8 +79,14 @@ fn heterogeneity_beats_homogeneity() {
     let hom = score_of(&v, SystemKind::Homogeneous);
     let het = score_of(&v, SystemKind::SingleIsaHetero);
     let composite = score_of(&v, SystemKind::CompositeFull);
-    assert!(het >= hom * 0.995, "hardware heterogeneity helps: {het:.4} vs {hom:.4}");
-    assert!(composite >= hom, "feature diversity helps: {composite:.4} vs {hom:.4}");
+    assert!(
+        het >= hom * 0.995,
+        "hardware heterogeneity helps: {het:.4} vs {hom:.4}"
+    );
+    assert!(
+        composite >= hom,
+        "feature diversity helps: {composite:.4} vs {hom:.4}"
+    );
 }
 
 #[test]
