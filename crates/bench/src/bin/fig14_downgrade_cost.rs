@@ -30,7 +30,12 @@ fn main() {
         let mut mean = 0.0;
         for b in &benches {
             let spec = &b.phases[0];
-            let c = downgrade_cost(spec, from.parse().unwrap(), to.parse().unwrap());
+            let from_fs = from.parse().expect("valid feature-set name");
+            let to_fs = to.parse().expect("valid feature-set name");
+            let c = downgrade_cost(spec, from_fs, to_fs).unwrap_or_else(|e| {
+                eprintln!("fig14: measuring '{label}' on {}: {e}", b.name);
+                std::process::exit(1);
+            });
             mean += c;
             print!("{:>10.1}%", (c - 1.0) * 100.0);
         }

@@ -30,7 +30,7 @@ fn main() {
     });
     for ((name, _), rep) in POWER_BUDGETS.iter().zip(reports) {
         match rep {
-            Some(rep) => {
+            Some(Ok(rep)) => {
                 println!(
                     "{:<12} {:>12.3} {:>12.3} {:>11.2}% {:>12} {:>12}",
                     name,
@@ -48,6 +48,7 @@ fn main() {
                     }
                 }
             }
+            Some(Err(e)) => println!("{name:<12} replay failed: {e}"),
             None => println!("{name:<12} infeasible"),
         }
     }

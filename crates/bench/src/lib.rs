@@ -46,7 +46,7 @@ impl Harness {
         let path = results_dir().join("perf_table.bin");
         let started = std::time::Instant::now();
         let existed = path.exists();
-        let table = PerfTable::load_or_build_with(&space, &path, &runner);
+        let (table, report) = PerfTable::load_or_build_reported(&space, &path, &runner);
         if !existed {
             let (hits, misses, _) = runner.cache().map_or((0, 0, 0), |c| c.stats());
             eprintln!(
@@ -60,6 +60,12 @@ impl Harness {
                 misses,
                 path.display()
             );
+        }
+        if let Some(report) = report.filter(|r| !r.is_clean()) {
+            eprintln!("[harness] table build faults: {}", report.summary());
+            for e in &report.failed {
+                eprintln!("[harness]   failed {e}");
+            }
         }
         Harness {
             space,

@@ -215,7 +215,7 @@ mod tests {
     #[test]
     fn microx86_decoder_savings_match_paper() {
         // Paper: -0.66% peak power, -1.12% area vs the x86-64 decoder.
-        let fs = "microx86-16D-32W".parse().unwrap();
+        let fs = "microx86-16D-32W".parse().expect("valid feature-set name");
         let (p, a) = decoder_deltas(&fs);
         assert!((pct(p) + 0.66).abs() < 0.05, "power delta {}%", pct(p));
         assert!((pct(a) + 1.12).abs() < 0.05, "area delta {}%", pct(a));
@@ -244,10 +244,10 @@ mod tests {
 
     #[test]
     fn depth_32_alone_triggers_prefix_logic() {
-        let fs: FeatureSet = "x86-32D-64W".parse().unwrap();
+        let fs: FeatureSet = "x86-32D-64W".parse().expect("valid feature-set name");
         let base = ild(&FeatureSet::x86_64());
         assert!(ild(&fs).area > base.area, "REXBC prefixes need ILD support");
-        let partial16: FeatureSet = "x86-16D-64W".parse().unwrap();
+        let partial16: FeatureSet = "x86-16D-64W".parse().expect("valid feature-set name");
         assert_eq!(ild(&partial16).area, base.area);
     }
 
@@ -263,7 +263,7 @@ mod tests {
 
     #[test]
     fn microx86_instantiates_four_simple_decoders() {
-        let d = decoder_block(&"microx86-8D-32W".parse().unwrap());
+        let d = decoder_block(&"microx86-8D-32W".parse().expect("valid feature-set name"));
         assert_eq!(d.simple_decoders, 4);
         assert_eq!(d.complex_decoders, 0);
         assert!(!d.has_msrom);

@@ -21,10 +21,12 @@
 //! - [`SCHEMA_VERSION`], bumped whenever the probe computation or the
 //!   [`PhaseProfile`] layout changes.
 //!
-//! A stale or corrupt file is treated as a miss and overwritten, so the
-//! cache directory can always be deleted (or versions mixed) safely.
-//! Writes go through a temp file + rename, so concurrent processes
-//! never observe torn entries.
+//! A stale or corrupt file is treated as a miss **and deleted on
+//! sight** — a torn write or an old schema version can never be
+//! re-served, and the next store rebuilds the entry cleanly. The cache
+//! directory can always be deleted (or versions mixed) safely. Writes
+//! go through a temp file + rename, so concurrent processes never
+//! observe torn entries.
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -67,6 +69,10 @@ pub struct ProfileCache {
 }
 
 impl ProfileCache {
+    /// Exact byte length of a well-formed cache entry: the magic word
+    /// plus the serialized profile values.
+    pub const ENTRY_BYTES: usize = 8 + PhaseProfile::N_VALUES * 8;
+
     /// Opens (and creates if needed) a cache rooted at `dir`. Failure
     /// to create the directory is not fatal: the cache then misses on
     /// every lookup and drops every store.
@@ -104,20 +110,28 @@ impl ProfileCache {
     }
 
     /// Looks up a probe result. `None` on absent, stale, or corrupt
-    /// entries.
+    /// entries; stale and corrupt files are deleted so they can never
+    /// be served (or mistaken for valid) by a later reader.
     pub fn load(&self, spec: &PhaseSpec, fs: FeatureSet) -> Option<PhaseProfile> {
-        let res = self.read_file(&self.path_for(Self::key(spec, fs)));
+        let path = self.path_for(Self::key(spec, fs));
+        let res = self.read_file(&path);
         match res {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            None => {
+                // A missing file is a plain miss; an unreadable one is
+                // garbage — evict it so the next store starts clean.
+                if path.exists() {
+                    let _ = std::fs::remove_file(&path);
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed)
+            }
         };
         res
     }
 
     fn read_file(&self, path: &Path) -> Option<PhaseProfile> {
         let bytes = std::fs::read(path).ok()?;
-        let expect = 8 + PhaseProfile::N_VALUES * 8;
-        if bytes.len() != expect {
+        if bytes.len() != Self::ENTRY_BYTES {
             return None;
         }
         let magic = u64::from_le_bytes(bytes[0..8].try_into().ok()?);
@@ -133,6 +147,21 @@ impl ProfileCache {
             }
         }
         Some(PhaseProfile::from_values(&values))
+    }
+
+    /// Fault injection: truncates the entry for `(spec, fs)` to `keep`
+    /// bytes, simulating a torn write (a crash between `write` and
+    /// `rename` on a filesystem without atomic rename). Returns true
+    /// if an entry existed and was torn.
+    pub fn tear_entry(&self, spec: &PhaseSpec, fs: FeatureSet, keep: usize) -> bool {
+        let path = self.path_for(Self::key(spec, fs));
+        match std::fs::read(&path) {
+            Ok(bytes) => {
+                let keep = keep.min(bytes.len());
+                std::fs::write(&path, &bytes[..keep]).is_ok()
+            }
+            Err(_) => false,
+        }
     }
 
     /// Persists a probe result. Errors are swallowed (a read-only or
@@ -217,6 +246,62 @@ mod tests {
         // A store repairs it.
         cache.store(spec, fs, &p);
         assert_eq!(cache.load(spec, fs), Some(p));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn torn_write_is_a_clean_miss_and_the_entry_is_deleted() {
+        let cache = ProfileCache::new(tmp_dir("torn"));
+        let spec = &all_phases()[0];
+        let fs = FeatureSet::superset();
+        let p = probe(spec, fs);
+        cache.store(spec, fs, &p);
+        assert!(cache.tear_entry(spec, fs, ProfileCache::ENTRY_BYTES / 2));
+
+        let path = cache.path_for(ProfileCache::key(spec, fs));
+        assert!(path.exists(), "torn entry present before the load");
+        assert_eq!(cache.load(spec, fs), None, "torn entry must read as a miss");
+        assert!(!path.exists(), "torn entry must be deleted, not re-served");
+        // The next lookup is an ordinary miss (no stale state left).
+        assert_eq!(cache.load(spec, fs), None);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn wrong_schema_version_is_a_clean_miss_and_the_entry_is_deleted() {
+        let cache = ProfileCache::new(tmp_dir("schema"));
+        let spec = &all_phases()[1];
+        let fs = FeatureSet::x86_64();
+        let p = probe(spec, fs);
+        cache.store(spec, fs, &p);
+
+        // Rewrite the entry as a hypothetical *future* schema: right
+        // length, wrong magic/version word.
+        let path = cache.path_for(ProfileCache::key(spec, fs));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let future_magic = 0xC15A_CAC4_E000_0000u64 | (SCHEMA_VERSION as u64 + 1);
+        bytes[0..8].copy_from_slice(&future_magic.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert_eq!(
+            cache.load(spec, fs),
+            None,
+            "foreign schema must read as a miss"
+        );
+        assert!(!path.exists(), "foreign-schema entry must be deleted");
+        // A store then repairs it and the roundtrip is exact again.
+        cache.store(spec, fs, &p);
+        assert_eq!(cache.load(spec, fs), Some(p));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn missing_entries_do_not_touch_the_filesystem() {
+        let cache = ProfileCache::new(tmp_dir("absent"));
+        let spec = &all_phases()[2];
+        assert_eq!(cache.load(spec, FeatureSet::minimal()), None);
+        assert_eq!(cache.stats(), (0, 1, 0));
+        assert!(!cache.tear_entry(spec, FeatureSet::minimal(), 0));
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

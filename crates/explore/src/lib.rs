@@ -19,8 +19,9 @@
 //! | [`table`] | The evaluated (phase x design point) performance table |
 //! | [`multicore`] | 4-core search: objectives, budgets, local search |
 //! | [`systems`] | The paper's five system organizations + sensitivity study |
-//! | [`runner`] | Parallel sweep execution and thread-pool sizing |
+//! | [`runner`] | Parallel sweep execution, panic isolation, thread-pool sizing |
 //! | [`cache`] | Content-addressed on-disk cache of probe results |
+//! | [`faults`] | Deterministic, seed-replayable fault injection |
 //!
 //! The expensive half is probing; [`runner::SweepRunner`] parallelizes
 //! it (`CISA_THREADS` override) and [`cache::ProfileCache`] persists it
@@ -30,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod faults;
 pub mod interval;
 pub mod multicore;
 pub mod profile;
@@ -39,12 +41,14 @@ pub mod systems;
 pub mod table;
 
 pub use cache::ProfileCache;
+pub use faults::{FaultDomain, FaultPlan, InjectedFault};
 pub use interval::{evaluate, PhasePerf};
 pub use multicore::{
-    reference_design, search, Budget, CoreChoice, Evaluator, Objective, SearchConfig, SearchResult,
+    reference_design, search, search_reported, Budget, CoreChoice, Evaluator, Objective,
+    SearchConfig, SearchResult,
 };
 pub use profile::{probe, probes_run, PhaseProfile, PROBE_UOPS};
-pub use runner::{par_map, threads, SweepRunner};
+pub use runner::{par_map, par_map_isolated, threads, ItemError, SweepReport, SweepRunner};
 pub use space::{all_microarchs, DesignId, DesignSpace, MicroArch};
 pub use systems::{
     candidates, constrained_candidates, search_system, sensitivity_constraints, SystemKind,

@@ -26,7 +26,7 @@ use cisa_workloads::{all_phases, PhaseSpec};
 
 use crate::interval::{evaluate, PhasePerf};
 use crate::profile::PhaseProfile;
-use crate::runner::SweepRunner;
+use crate::runner::{SweepReport, SweepRunner};
 use crate::space::{DesignId, DesignSpace};
 
 /// Magic+version header for the on-disk format.
@@ -75,6 +75,26 @@ impl PerfTable {
         phases: &[PhaseSpec],
         runner: &SweepRunner,
     ) -> Self {
+        Self::build_for_phases_reported(space, phases, runner).0
+    }
+
+    /// [`PerfTable::build_for_phases_with`] plus the sweep's fault
+    /// report.
+    ///
+    /// Every (phase, feature set) cell runs panic-isolated with the
+    /// runner's retry budget, so a poisoned cell — an injected fault
+    /// or a genuine crash — degrades to a recorded
+    /// [`crate::runner::ItemError`] instead of killing the build. The
+    /// failed cells' entries stay at [`PhasePerf::default`] (zeros,
+    /// detectable by [`PhasePerf::cycles_per_unit`]` == 0.0`); every
+    /// surviving cell is **bit-identical** to a fault-free build. On
+    /// the fault-free path the report is clean and the table matches
+    /// [`PerfTable::build_for_phases_with`] exactly.
+    pub fn build_for_phases_reported(
+        space: &DesignSpace,
+        phases: &[PhaseSpec],
+        runner: &SweepRunner,
+    ) -> (Self, SweepReport) {
         let n_ua = space.microarchs.len();
         let n_fs = space.feature_sets.len();
         let n_phases = phases.len();
@@ -101,10 +121,10 @@ impl PerfTable {
         let pairs: Vec<(usize, usize)> = (0..n_phases)
             .flat_map(|pi| (0..n_fs).map(move |fi| (pi, fi)))
             .collect();
-        let cells: Vec<Cell> = runner.map(&pairs, |&(pi, fi)| {
+        let (cells, report) = runner.map_reported(&pairs, |&(pi, fi), index, attempt| {
             let spec = &phases[pi];
             let fs = space.feature_sets[fi];
-            let prof = runner.probe(spec, fs);
+            let prof = runner.probe_checked(spec, fs, index, attempt)?;
             let perfs: Vec<PhasePerf> = space
                 .microarchs
                 .iter()
@@ -124,12 +144,15 @@ impl PerfTable {
                         .collect();
                     (vi, vperfs)
                 });
-            Cell { perfs, vendor }
+            Ok(Cell { perfs, vendor })
         });
 
         let mut entries = vec![PhasePerf::default(); n_phases * n_fs * n_ua];
         let mut vendor_entries = vec![PhasePerf::default(); n_phases * 3 * n_ua];
         for (&(pi, fi), cell) in pairs.iter().zip(&cells) {
+            let Some(cell) = cell else {
+                continue; // failed cell: entries stay at the zero default
+            };
             entries[(pi * n_fs + fi) * n_ua..(pi * n_fs + fi + 1) * n_ua]
                 .copy_from_slice(&cell.perfs);
             if let Some((vi, vperfs)) = &cell.vendor {
@@ -137,14 +160,15 @@ impl PerfTable {
                     .copy_from_slice(vperfs);
             }
         }
-        PerfTable {
+        let table = PerfTable {
             n_ua,
             n_fs,
             n_phases,
             phase_benchmarks,
             entries,
             vendor_entries,
-        }
+        };
+        (table, report)
     }
 
     /// Looks up a composite design point for a phase.
@@ -237,20 +261,34 @@ impl PerfTable {
     /// so a cold build probes through the runner's cache and thread
     /// pool. This is the entry point the experiment harness uses.
     pub fn load_or_build_with(space: &DesignSpace, path: &Path, runner: &SweepRunner) -> Self {
+        Self::load_or_build_reported(space, path, runner).0
+    }
+
+    /// [`PerfTable::load_or_build_with`] plus the build's fault report:
+    /// `None` when the table came from disk, `Some(report)` when it
+    /// was built. A table with failed cells is **not** persisted — a
+    /// later run rebuilds rather than serving zeros from disk forever.
+    pub fn load_or_build_reported(
+        space: &DesignSpace,
+        path: &Path,
+        runner: &SweepRunner,
+    ) -> (Self, Option<SweepReport>) {
         if let Some(t) = Self::load(path) {
             if t.n_ua == space.microarchs.len()
                 && t.n_fs == space.feature_sets.len()
                 && t.n_phases == all_phases().len()
             {
-                return t;
+                return (t, None);
             }
         }
-        let t = Self::build_for_phases_with(space, &all_phases(), runner);
-        if let Some(dir) = path.parent() {
-            let _ = std::fs::create_dir_all(dir);
+        let (t, report) = Self::build_for_phases_reported(space, &all_phases(), runner);
+        if report.failed.is_empty() {
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let _ = t.save(path);
         }
-        let _ = t.save(path);
-        t
+        (t, Some(report))
     }
 }
 

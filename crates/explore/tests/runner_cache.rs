@@ -3,7 +3,7 @@
 //! probing entirely.
 
 use cisa_explore::profile::probes_run;
-use cisa_explore::{DesignSpace, PerfTable, ProfileCache, SweepRunner};
+use cisa_explore::{DesignId, DesignSpace, FaultPlan, PerfTable, ProfileCache, SweepRunner};
 use cisa_workloads::all_phases;
 use std::path::PathBuf;
 use std::sync::Mutex;
@@ -100,5 +100,96 @@ fn warm_cache_rerun_does_zero_probes() {
     let (hits, misses, _) = warm_runner.cache().unwrap().stats();
     assert_eq!((hits, misses), ((phases.len() * fs.len()) as u64, 0));
 
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The ISSUE's acceptance scenario: a fault plan with 5% stream
+/// corruption and two forced worker panics. The table build must
+/// complete, report exactly the corrupted items, absorb the transient
+/// panics through retry, and keep every surviving row bit-identical
+/// to a fault-free build.
+#[test]
+fn faulted_table_build_degrades_gracefully_and_reports_exactly() {
+    let _guard = PROBE_COUNTER.lock().unwrap();
+    let phases: Vec<_> = all_phases().into_iter().take(2).collect();
+    let space = DesignSpace::new();
+    let n_fs = space.feature_sets.len();
+    let n_items = phases.len() * n_fs;
+
+    let (base, base_report) =
+        PerfTable::build_for_phases_reported(&space, &phases, &SweepRunner::new(2));
+    assert!(base_report.is_clean(), "{}", base_report.summary());
+    assert_eq!(base_report.attempted, n_items);
+
+    // The corruption decision is per-index and content-independent, so
+    // the expected faulted set can be derived from the plan itself.
+    let plan = FaultPlan::new(0xFA_0715).with_stream_corruption(0.05);
+    let corrupted: Vec<usize> = (0..n_items)
+        .filter(|&i| plan.corrupt_stream(i, &mut vec![0xA5u8; 16]).is_some())
+        .collect();
+    assert!(
+        !corrupted.is_empty() && corrupted.len() <= n_items / 4,
+        "seed must corrupt some but not most items: {corrupted:?}"
+    );
+    // Force panics on two items the corruption leaves alone, so the
+    // two fault kinds exercise disjoint recovery paths.
+    let panics: Vec<usize> = (0..n_items)
+        .filter(|i| !corrupted.contains(i))
+        .take(2)
+        .collect();
+    let runner = SweepRunner::new(2).with_faults(plan.with_forced_panics(&panics));
+    let (faulted, report) = PerfTable::build_for_phases_reported(&space, &phases, &runner);
+
+    // Exact accounting: corrupted items fail after exhausting retries,
+    // panicked items retry once and succeed.
+    assert_eq!(report.attempted, n_items);
+    assert_eq!(report.failed_indices(), corrupted);
+    assert_eq!(report.retried, corrupted.len() + panics.len());
+    for e in &report.failed {
+        assert_eq!(e.attempts, runner.retries(), "{e}");
+        assert!(e.message.contains("injected fault"), "{e}");
+    }
+
+    // Surviving rows bit-identical; failed cells stay at the zero
+    // default, detectable by cycles_per_unit == 0.
+    for pi in 0..phases.len() {
+        for fi in 0..n_fs {
+            let failed = corrupted.contains(&(pi * n_fs + fi));
+            for ua in 0..space.microarchs.len() as u16 {
+                let id = DesignId { fs: fi as u16, ua };
+                let (f, b) = (faulted.get(pi, id), base.get(pi, id));
+                if failed {
+                    assert_eq!(f.cycles_per_unit, 0.0, "failed cell must stay zeroed");
+                    assert_eq!(f.energy_per_unit, 0.0, "failed cell must stay zeroed");
+                } else {
+                    assert_eq!(f.cycles_per_unit.to_bits(), b.cycles_per_unit.to_bits());
+                    assert_eq!(f.energy_per_unit.to_bits(), b.energy_per_unit.to_bits());
+                }
+            }
+        }
+    }
+}
+
+/// An armed-but-inert fault plan (no rates, no panic items) must leave
+/// the build byte-identical to a runner with no plan at all — the
+/// fault machinery costs nothing on the fault-free path.
+#[test]
+fn inert_fault_plan_build_is_byte_identical() {
+    let _guard = PROBE_COUNTER.lock().unwrap();
+    let phases: Vec<_> = all_phases().into_iter().take(1).collect();
+    let space = DesignSpace::new();
+    let plain = PerfTable::build_for_phases_with(&space, &phases, &SweepRunner::new(2));
+    let armed_runner = SweepRunner::new(2).with_faults(FaultPlan::new(7));
+    let (armed, report) = PerfTable::build_for_phases_reported(&space, &phases, &armed_runner);
+    assert!(report.is_clean(), "{}", report.summary());
+    assert_eq!(report.retried, 0);
+
+    let dir = scratch("inert-plan-identity");
+    std::fs::create_dir_all(&dir).unwrap();
+    plain.save(&dir.join("plain.bin")).unwrap();
+    armed.save(&dir.join("armed.bin")).unwrap();
+    let a = std::fs::read(dir.join("plain.bin")).unwrap();
+    let b = std::fs::read(dir.join("armed.bin")).unwrap();
+    assert_eq!(a, b, "inert fault plan must not perturb table bytes");
     let _ = std::fs::remove_dir_all(&dir);
 }

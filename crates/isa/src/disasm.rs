@@ -10,6 +10,7 @@
 use std::fmt;
 
 use crate::encoding::{DecodeError, PREDICATE_MARKER, REXBC_MARKER};
+use crate::error::StreamError;
 use crate::inst::{AddressingMode, MacroOpcode};
 
 /// A disassembled instruction.
@@ -208,11 +209,19 @@ pub fn disassemble(bytes: &[u8]) -> Result<Disassembled, DecodeError> {
 ///
 /// # Errors
 ///
-/// Fails on the first undecodable instruction.
-pub fn disassemble_stream(mut bytes: &[u8]) -> Result<Vec<Disassembled>, DecodeError> {
+/// Fails on the first undecodable instruction. The [`StreamError`]
+/// reports the failing instruction's index and how many bytes were
+/// consumed by the instructions that decoded cleanly before it.
+pub fn disassemble_stream(mut bytes: &[u8]) -> Result<Vec<Disassembled>, StreamError> {
     let mut out = Vec::new();
+    let mut offset = 0usize;
     while !bytes.is_empty() {
-        let d = disassemble(bytes)?;
+        let d = disassemble(bytes).map_err(|source| StreamError {
+            offset,
+            index: out.len(),
+            source,
+        })?;
+        offset += d.len as usize;
         bytes = &bytes[d.len as usize..];
         out.push(d);
     }
@@ -223,19 +232,27 @@ pub fn disassemble_stream(mut bytes: &[u8]) -> Result<Vec<Disassembled>, DecodeE
 mod tests {
     use super::*;
     use crate::encoding::Encoder;
+    use crate::error::IsaError;
     use crate::inst::{MachineInst, MemLocality, MemOperand, Operand};
     use crate::{ArchReg, FeatureSet};
 
-    fn roundtrip(inst: &MachineInst) -> Disassembled {
+    /// Round-trips one instruction through encode + disassemble,
+    /// propagating encode/decode errors instead of unwrapping so a
+    /// failure reports the full instruction-context diagnostic.
+    fn roundtrip(inst: &MachineInst) -> Result<Disassembled, IsaError> {
         let enc = Encoder::new(FeatureSet::superset())
             .encode(inst)
-            .expect("encodes");
-        let d = disassemble(&enc.bytes).expect("disassembles");
+            .map_err(|source| IsaError::Encode { index: 0, source })?;
+        let d = disassemble(&enc.bytes).map_err(|source| StreamError {
+            offset: 0,
+            index: 0,
+            source,
+        })?;
         assert_eq!(d.len as usize, enc.len(), "{inst}");
         assert_eq!(d.opcode, canonical_group(inst.opcode), "{inst}");
         assert_eq!(d.has_rexbc, enc.has_rexbc, "{inst}");
         assert_eq!(d.predicate.is_some(), enc.has_predicate, "{inst}");
-        d
+        Ok(d)
     }
 
     /// Mov-with-immediate reuses ALU opcodes in display; canonical group
@@ -245,36 +262,38 @@ mod tests {
     }
 
     #[test]
-    fn disassembles_plain_alu() {
+    fn disassembles_plain_alu() -> Result<(), IsaError> {
         let i = MachineInst::compute(
             MacroOpcode::IntAlu,
             ArchReg::gpr(3),
             Operand::Reg(ArchReg::gpr(5)),
             Operand::Reg(ArchReg::gpr(6)),
         );
-        let d = roundtrip(&i);
+        let d = roundtrip(&i)?;
         assert_eq!(d.reg, Some(3));
         assert!(!d.has_rex);
         assert_eq!(d.mode, None);
+        Ok(())
     }
 
     #[test]
-    fn recovers_extended_registers() {
+    fn recovers_extended_registers() -> Result<(), IsaError> {
         let i = MachineInst::compute(
             MacroOpcode::IntAlu,
             ArchReg::gpr(45),
             Operand::Reg(ArchReg::gpr(2)),
             Operand::None,
         );
-        let d = roundtrip(&i);
+        let d = roundtrip(&i)?;
         // 45 = 0b101101: low 3 bits 101, REX.R bit 1, REXBC bits 10.
         assert_eq!(d.reg, Some(45));
         assert!(d.has_rexbc);
         assert!(d.has_rex);
+        Ok(())
     }
 
     #[test]
-    fn recovers_predicates() {
+    fn recovers_predicates() -> Result<(), IsaError> {
         let i = MachineInst::compute(
             MacroOpcode::IntAlu,
             ArchReg::gpr(1),
@@ -282,26 +301,28 @@ mod tests {
             Operand::None,
         )
         .predicated_on(ArchReg::gpr(9), true);
-        let d = roundtrip(&i);
+        let d = roundtrip(&i)?;
         assert_eq!(d.predicate, Some((9, true)));
         assert!(d.to_string().starts_with("(!r9)"));
+        Ok(())
     }
 
     #[test]
-    fn recovers_memory_bases() {
+    fn recovers_memory_bases() -> Result<(), IsaError> {
         let i = MachineInst::load(
             ArchReg::gpr(1),
             MemOperand::base_disp(ArchReg::gpr(20), 4, MemLocality::Stream),
         );
-        let d = roundtrip(&i);
+        let d = roundtrip(&i)?;
         assert_eq!(d.opcode, MacroOpcode::Load);
         assert_eq!(d.rm, Some(20));
         assert_eq!(d.mode, Some(AddressingMode::BaseDisp));
         assert_eq!(d.disp_bytes, 4);
+        Ok(())
     }
 
     #[test]
-    fn recovers_wide_flag() {
+    fn recovers_wide_flag() -> Result<(), IsaError> {
         let i = MachineInst::compute(
             MacroOpcode::IntAlu,
             ArchReg::gpr(1),
@@ -309,12 +330,13 @@ mod tests {
             Operand::None,
         )
         .wide();
-        let d = roundtrip(&i);
+        let d = roundtrip(&i)?;
         assert!(d.rex_w);
+        Ok(())
     }
 
     #[test]
-    fn stream_disassembly() {
+    fn stream_disassembly() -> Result<(), IsaError> {
         let enc = Encoder::new(FeatureSet::superset());
         let insts = [
             MachineInst::compute(
@@ -326,19 +348,36 @@ mod tests {
             MachineInst::branch(),
             MachineInst::jump(),
         ];
-        let mut stream = Vec::new();
-        for i in &insts {
-            stream.extend_from_slice(&enc.encode(i).unwrap().bytes);
-        }
-        let ds = disassemble_stream(&stream).unwrap();
+        let stream = enc.encode_stream(&insts)?;
+        let ds = disassemble_stream(&stream)?;
         assert_eq!(ds.len(), 3);
         assert_eq!(ds[1].opcode, MacroOpcode::Branch);
         assert_eq!(ds[2].opcode, MacroOpcode::Jump);
+        Ok(())
     }
 
     #[test]
     fn errors_match_the_ild() {
         assert_eq!(disassemble(&[]), Err(DecodeError::Truncated));
         assert_eq!(disassemble(&[0xFF]), Err(DecodeError::UnknownOpcode(0xFF)));
+    }
+
+    #[test]
+    fn stream_errors_carry_consumed_bytes() -> Result<(), IsaError> {
+        let enc = Encoder::new(FeatureSet::superset());
+        let good = MachineInst::compute(
+            MacroOpcode::IntAlu,
+            ArchReg::gpr(1),
+            Operand::Reg(ArchReg::gpr(2)),
+            Operand::None,
+        );
+        let mut stream = enc.encode_stream(&[good, good])?;
+        let clean = stream.len();
+        stream.extend_from_slice(&[0xFF, 0x00]);
+        let err = disassemble_stream(&stream).unwrap_err();
+        assert_eq!(err.index, 2);
+        assert_eq!(err.consumed(), clean);
+        assert_eq!(err.source, DecodeError::UnknownOpcode(0xFF));
+        Ok(())
     }
 }

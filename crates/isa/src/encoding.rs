@@ -23,6 +23,7 @@
 
 use std::fmt;
 
+use crate::error::{IsaError, StreamError};
 use crate::feature_set::{FeatureSet, RegisterWidth};
 use crate::inst::{AddressingMode, MachineInst, MacroOpcode};
 use crate::regs::{ArchReg, EncodingTier};
@@ -458,6 +459,24 @@ impl Encoder {
         self.encode(inst).map(|e| e.len())
     }
 
+    /// Encodes a whole instruction sequence into one contiguous byte
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::Encode`] identifying the first instruction
+    /// that is not legal under this encoder's feature set.
+    pub fn encode_stream(&self, insts: &[MachineInst]) -> Result<Vec<u8>, IsaError> {
+        let mut bytes = Vec::with_capacity(insts.len() * 4);
+        for (index, inst) in insts.iter().enumerate() {
+            let enc = self
+                .encode(inst)
+                .map_err(|source| IsaError::Encode { index, source })?;
+            bytes.extend_from_slice(&enc.bytes);
+        }
+        Ok(bytes)
+    }
+
     fn rexbc_payload(inst: &MachineInst) -> u8 {
         // 2 bits each for reg, index, base extension; low 2 bits lift
         // the sub-register pairing restrictions (always set here).
@@ -663,12 +682,20 @@ impl InstLengthDecoder {
     ///
     /// # Errors
     ///
-    /// Fails if any instruction fails to decode; trailing garbage is an
-    /// error too.
-    pub fn decode_stream(&self, mut bytes: &[u8]) -> Result<Vec<DecodedLength>, DecodeError> {
+    /// Fails if any instruction fails to decode — trailing garbage is
+    /// an error too. The returned [`StreamError`] reports the failing
+    /// instruction's index and byte offset (= bytes successfully
+    /// consumed), so callers can keep the clean prefix.
+    pub fn decode_stream(&self, mut bytes: &[u8]) -> Result<Vec<DecodedLength>, StreamError> {
         let mut out = Vec::new();
+        let mut offset = 0usize;
         while !bytes.is_empty() {
-            let d = self.decode_one(bytes)?;
+            let d = self.decode_one(bytes).map_err(|source| StreamError {
+                offset,
+                index: out.len(),
+                source,
+            })?;
+            offset += d.len;
             bytes = &bytes[d.len..];
             out.push(d);
         }
@@ -850,6 +877,39 @@ mod tests {
             Err(DecodeError::UnknownOpcode(0xFF))
         );
         assert_eq!(ild.decode_one(&[0x83, 0xC0]), Err(DecodeError::Truncated)); // missing imm8
+    }
+
+    #[test]
+    fn stream_errors_report_consumed_bytes() {
+        let enc = Encoder::new(FeatureSet::superset());
+        let good = MachineInst::compute(
+            MacroOpcode::IntAlu,
+            r(1),
+            Operand::Reg(r(2)),
+            Operand::Reg(r(3)),
+        );
+        let mut stream = enc.encode(&good).unwrap().bytes;
+        let clean_len = stream.len();
+        stream.push(0xFF); // garbage tail
+        let err = InstLengthDecoder::new().decode_stream(&stream).unwrap_err();
+        assert_eq!(err.index, 1, "first instruction decodes cleanly");
+        assert_eq!(err.consumed(), clean_len);
+        assert_eq!(err.source, DecodeError::UnknownOpcode(0xFF));
+    }
+
+    #[test]
+    fn encode_stream_reports_failing_instruction() {
+        let enc = Encoder::new(FeatureSet::minimal());
+        let legal =
+            MachineInst::compute(MacroOpcode::IntAlu, r(1), Operand::Reg(r(2)), Operand::None);
+        let illegal =
+            MachineInst::compute(MacroOpcode::VecAlu, r(1), Operand::Reg(r(2)), Operand::None);
+        let err = enc.encode_stream(&[legal, illegal]).unwrap_err();
+        match err {
+            IsaError::Encode { index, .. } => assert_eq!(index, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(enc.encode_stream(&[legal, legal]).is_ok());
     }
 
     #[test]

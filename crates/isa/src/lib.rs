@@ -40,6 +40,7 @@
 
 pub mod disasm;
 pub mod encoding;
+pub mod error;
 pub mod feature_set;
 pub mod inst;
 pub mod regs;
@@ -48,7 +49,8 @@ pub mod uop;
 pub mod vendor;
 
 pub use disasm::{disassemble, disassemble_stream, Disassembled};
-pub use encoding::{EncodedInst, Encoder, InstLengthDecoder};
+pub use encoding::{DecodeError, EncodeError, EncodedInst, Encoder, InstLengthDecoder};
+pub use error::{IsaError, StreamError};
 pub use feature_set::{
     Complexity, FeatureConstraint, FeatureSet, Predication, RegisterDepth, RegisterWidth,
     SimdSupport, ViabilityError,

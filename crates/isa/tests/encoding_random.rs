@@ -201,6 +201,123 @@ fn disassembler_inverts_encoder() {
     }
 }
 
+/// Builds one valid encoded stream (concatenated instructions) for the
+/// mutation fuzzers below, returning the bytes.
+fn arb_stream(rng: &mut SmallRng, encoder: &Encoder) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for _ in 0..rng.gen_range(1..8usize) {
+        let inst = arb_inst(rng);
+        if let Ok(e) = encoder.encode(&inst) {
+            stream.extend_from_slice(&e.bytes);
+        }
+    }
+    stream
+}
+
+/// Applies a random corruption — bit flips or a truncation — to a
+/// valid stream. Returns `true` if anything actually changed.
+fn mutate_stream(rng: &mut SmallRng, stream: &mut Vec<u8>) -> bool {
+    if stream.is_empty() {
+        return false;
+    }
+    if rng.gen_bool(0.3) {
+        let new_len = rng.gen_range(0..stream.len());
+        stream.truncate(new_len);
+        true
+    } else {
+        for _ in 0..rng.gen_range(1..4usize) {
+            let byte = rng.gen_range(0..stream.len());
+            let bit = rng.gen_range(0..8u8);
+            stream[byte] ^= 1 << bit;
+        }
+        true
+    }
+}
+
+/// Checks the decoder's contract on an arbitrary (possibly corrupt)
+/// byte stream: it must return either a structurally consistent
+/// decoding or a structured error that accounts for every byte it
+/// consumed. Panics are impossible by construction of this test —
+/// any panic inside the decoder fails the test run itself.
+fn assert_decode_total(stream: &[u8]) {
+    match InstLengthDecoder::new().decode_stream(stream) {
+        Ok(decoded) => {
+            let total: usize = decoded.iter().map(|d| d.len).sum();
+            assert_eq!(total, stream.len(), "decoded lengths must tile the stream");
+            for d in &decoded {
+                assert!(d.len >= 1 && d.len <= cisa_isa::encoding::MAX_INST_LEN);
+            }
+        }
+        Err(e) => {
+            assert!(e.consumed() <= stream.len());
+            assert!(!e.to_string().is_empty(), "error must carry a diagnostic");
+            // The reported offset is exact: the prefix before the
+            // failing instruction decodes cleanly to `index` insts.
+            let prefix = InstLengthDecoder::new()
+                .decode_stream(&stream[..e.offset])
+                .expect("prefix before the failure offset must be clean");
+            assert_eq!(prefix.len(), e.index, "index must count prefix insts");
+        }
+    }
+}
+
+/// Fuzz: 10,000 seeded mutations of valid encoded streams. Decoding
+/// never panics; it either round-trips (mutation happened to produce
+/// another valid stream) or returns a structured error whose offset
+/// and index are exact.
+#[test]
+fn mutated_streams_decode_totally() {
+    let mut rng = SmallRng::seed_from_u64(0x15A_F422);
+    let encoder = Encoder::new(FeatureSet::superset());
+    for case in 0..10_000 {
+        let mut stream = arb_stream(&mut rng, &encoder);
+        // Pristine streams must round-trip before we corrupt them.
+        InstLengthDecoder::new()
+            .decode_stream(&stream)
+            .unwrap_or_else(|e| panic!("case {case}: clean stream failed: {e}"));
+        mutate_stream(&mut rng, &mut stream);
+        assert_decode_total(&stream);
+    }
+}
+
+/// Fuzz: the disassembler upholds the same totality contract as the
+/// length decoder on corrupted streams — structured errors with exact
+/// offsets, never a panic.
+#[test]
+fn mutated_streams_disassemble_totally() {
+    let mut rng = SmallRng::seed_from_u64(0x15A_F423);
+    let encoder = Encoder::new(FeatureSet::superset());
+    for _ in 0..2_000 {
+        let mut stream = arb_stream(&mut rng, &encoder);
+        mutate_stream(&mut rng, &mut stream);
+        match cisa_isa::disassemble_stream(&stream) {
+            Ok(insts) => {
+                let total: usize = insts.iter().map(|d| d.len as usize).sum();
+                assert_eq!(total, stream.len());
+            }
+            Err(e) => {
+                assert!(e.consumed() <= stream.len());
+                let prefix = cisa_isa::disassemble_stream(&stream[..e.offset])
+                    .expect("prefix before the failure offset must be clean");
+                assert_eq!(prefix.len(), e.index);
+            }
+        }
+    }
+}
+
+/// Fuzz: fully random (never-valid-by-construction) byte soup also
+/// decodes totally — the decoder makes no assumptions about its input
+/// having ever been produced by the encoder.
+#[test]
+fn random_byte_soup_decodes_totally() {
+    let mut rng = SmallRng::seed_from_u64(0x15A_F424);
+    for _ in 0..2_000 {
+        let len = rng.gen_range(0..48usize);
+        let stream: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        assert_decode_total(&stream);
+    }
+}
+
 /// Coverage in the feature lattice implies encodability: if a set
 /// covers another, everything encodable under the covered set is
 /// encodable under the covering set. Swept over every (a, b) pair with

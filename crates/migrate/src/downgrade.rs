@@ -27,6 +27,8 @@ use cisa_isa::{ArchReg, FeatureSet};
 use cisa_sim::{simulate, CoreConfig};
 use cisa_workloads::{generate, PhaseSpec, TraceGenerator, TraceParams};
 
+use crate::error::MigrateError;
+
 /// Statistics of one emulation transform.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EmulationStats {
@@ -82,13 +84,13 @@ fn remap_reg(
 /// use cisa_workloads::{all_phases, generate};
 ///
 /// let code = compile(&generate(&all_phases()[0]), &FeatureSet::superset(),
-///                    &CompileOptions::default())?;
+///                    &CompileOptions::default()).map_err(Box::new)?;
 /// // Downgrade to plain x86-64: deep registers move to the register
 /// // context block, predicated runs become branches again.
-/// let (emulated, stats) = emulate(&code, &FeatureSet::x86_64());
+/// let (emulated, stats) = emulate(&code, &FeatureSet::x86_64()).map_err(Box::new)?;
 /// assert!(stats.rcb_accesses > 0 || stats.reverse_if_conversions > 0);
 /// assert_eq!(emulated.fs, FeatureSet::x86_64());
-/// # Ok::<(), cisa_compiler::CompileError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 ///
 /// Applies downgrade emulation so `code` (compiled for its own feature
@@ -96,11 +98,17 @@ fn remap_reg(
 /// transformed code and the transform statistics.
 ///
 /// If `target` covers the code's feature set the code is returned
-/// unchanged (the zero-cost *upgrade* path).
-pub fn emulate(code: &CompiledCode, target: &FeatureSet) -> (CompiledCode, EmulationStats) {
+/// unchanged (the zero-cost *upgrade* path). The only failure mode is
+/// corrupted input code — a memory-operand instruction whose operand
+/// or destination vanishes mid-transform — reported as
+/// [`MigrateError::Emulation`] naming the block and instruction.
+pub fn emulate(
+    code: &CompiledCode,
+    target: &FeatureSet,
+) -> Result<(CompiledCode, EmulationStats), MigrateError> {
     let mut stats = EmulationStats::default();
     if target.covers(&code.fs) {
-        return (code.clone(), stats);
+        return Ok((code.clone(), stats));
     }
     let depth = target.depth().count();
     let narrow = target.width() < code.fs.width();
@@ -108,10 +116,10 @@ pub fn emulate(code: &CompiledCode, target: &FeatureSet) -> (CompiledCode, Emula
     let strip_pred = target.predication() < code.fs.predication();
 
     let mut blocks = Vec::with_capacity(code.blocks.len());
-    for b in &code.blocks {
+    for (bi, b) in code.blocks.iter().enumerate() {
         let mut insts: Vec<MachineInst> = Vec::with_capacity(b.insts.len() * 2);
         let mut prev_pred: Option<(u8, bool)> = None;
-        for inst in &b.insts {
+        for (ii, inst) in b.insts.iter().enumerate() {
             let mut inst = *inst;
 
             // Reverse if-conversion: a new predicated run costs one
@@ -210,7 +218,11 @@ pub fn emulate(code: &CompiledCode, target: &FeatureSet) -> (CompiledCode, Emula
                 && !matches!(inst.opcode, MacroOpcode::Load | MacroOpcode::Store)
             {
                 stats.expanded_mem_ops += 1;
-                let m = inst.mem.take().expect("checked");
+                let m = inst.mem.take().ok_or(MigrateError::Emulation {
+                    block: bi,
+                    index: ii,
+                    reason: "memory operand vanished during expansion",
+                })?;
                 let role = std::mem::replace(&mut inst.mem_role, MemRole::None);
                 let s = scratch(2);
                 for _ in 0..copies {
@@ -239,7 +251,12 @@ pub fn emulate(code: &CompiledCode, target: &FeatureSet) -> (CompiledCode, Emula
                 insts.push(inst);
             }
             if dst_remapped {
-                insts.push(MachineInst::store(inst.dst.expect("def"), rcb_mem()));
+                let dst = inst.dst.ok_or(MigrateError::Emulation {
+                    block: bi,
+                    index: ii,
+                    reason: "remapped destination register vanished",
+                })?;
+                insts.push(MachineInst::store(dst, rcb_mem()));
             }
         }
         blocks.push(CompiledBlock {
@@ -254,7 +271,7 @@ pub fn emulate(code: &CompiledCode, target: &FeatureSet) -> (CompiledCode, Emula
     let mut out = code.clone();
     out.blocks = blocks;
     out.fs = *target;
-    (out, stats)
+    Ok((out, stats))
 }
 
 /// Measures the slowdown of running `spec`'s code compiled for
@@ -263,11 +280,24 @@ pub fn emulate(code: &CompiledCode, target: &FeatureSet) -> (CompiledCode, Emula
 ///
 /// Returns `emulated_time / native_time` (1.0 = free; >1 = overhead;
 /// <1 = the downgrade helped, as the paper observes for some 64->32-bit
-/// cases).
-pub fn downgrade_cost(spec: &PhaseSpec, compiled_for: FeatureSet, target: FeatureSet) -> f64 {
-    let code = compile(&generate(spec), &compiled_for, &CompileOptions::default())
-        .expect("phases compile");
-    let (emulated, _) = emulate(&code, &target);
+/// cases). A phase that fails to compile for `compiled_for` — possible
+/// only under fault injection — surfaces as [`MigrateError::Compile`]
+/// naming the phase and feature set.
+pub fn downgrade_cost(
+    spec: &PhaseSpec,
+    compiled_for: FeatureSet,
+    target: FeatureSet,
+) -> Result<f64, MigrateError> {
+    let code =
+        compile(&generate(spec), &compiled_for, &CompileOptions::default()).map_err(|source| {
+            MigrateError::Compile {
+                benchmark: spec.benchmark.to_string(),
+                phase: spec.index as usize,
+                fs: compiled_for,
+                source,
+            }
+        })?;
+    let (emulated, _) = emulate(&code, &target)?;
 
     let params = TraceParams {
         max_uops: 24_000,
@@ -299,7 +329,7 @@ pub fn downgrade_cost(spec: &PhaseSpec, compiled_for: FeatureSet, target: Featur
             .map(|b| b.weight * b.insts.len() as f64)
             .sum::<f64>()
             .max(1e-9);
-    (emul_cpu * expansion) / native_cpu
+    Ok((emul_cpu * expansion) / native_cpu)
 }
 
 #[cfg(test)]
@@ -331,7 +361,7 @@ mod tests {
             &CompileOptions::default(),
         )
         .unwrap();
-        let (out, stats) = emulate(&code, &FeatureSet::superset());
+        let (out, stats) = emulate(&code, &FeatureSet::superset()).unwrap();
         assert_eq!(stats, EmulationStats::default());
         assert_eq!(out.blocks.len(), code.blocks.len());
     }
@@ -340,7 +370,7 @@ mod tests {
     fn depth_downgrade_adds_rcb_traffic() {
         let code = superset_code("hmmer");
         let target: FeatureSet = "x86-16D-64W-P".parse().unwrap();
-        let (out, stats) = emulate(&code, &target);
+        let (out, stats) = emulate(&code, &target).unwrap();
         assert!(stats.rcb_accesses > 0, "hmmer uses deep registers");
         let orig: usize = code.blocks.iter().map(|b| b.insts.len()).sum();
         let emul: usize = out.blocks.iter().map(|b| b.insts.len()).sum();
@@ -356,7 +386,7 @@ mod tests {
         )
         .unwrap();
         let target: FeatureSet = "microx86-32D-32W".parse().unwrap();
-        let (out, stats) = emulate(&code, &target);
+        let (out, stats) = emulate(&code, &target).unwrap();
         assert!(stats.expanded_mem_ops > 0, "mcf folds memory operands");
         for b in &out.blocks {
             for i in &b.insts {
@@ -372,7 +402,7 @@ mod tests {
     fn predication_downgrade_restores_branches() {
         let code = superset_code("sjeng");
         let target: FeatureSet = "x86-64D-64W".parse().unwrap();
-        let (out, stats) = emulate(&code, &target);
+        let (out, stats) = emulate(&code, &target).unwrap();
         assert!(stats.reverse_if_conversions > 0, "sjeng is predicated");
         for b in &out.blocks {
             for i in &b.insts {
@@ -393,7 +423,7 @@ mod tests {
         )
         .unwrap();
         let target: FeatureSet = "microx86-32D-32W".parse().unwrap();
-        let (out, stats) = emulate(&code, &target);
+        let (out, stats) = emulate(&code, &target).unwrap();
         assert!(stats.expanded_mem_ops > 0);
         for b in &out.blocks {
             for i in &b.insts {
@@ -415,7 +445,7 @@ mod tests {
         )
         .unwrap();
         let target: FeatureSet = "microx86-32D-32W".parse().unwrap();
-        let (_, stats) = emulate(&code, &target);
+        let (_, stats) = emulate(&code, &target).unwrap();
         assert!(stats.double_pumped > 0, "mcf has wide data");
     }
 
@@ -427,8 +457,8 @@ mod tests {
         let from: FeatureSet = "microx86-64D-32W".parse().unwrap();
         let to32: FeatureSet = "microx86-32D-32W".parse().unwrap();
         let to8: FeatureSet = "microx86-8D-32W".parse().unwrap();
-        let c32 = downgrade_cost(&s, from, to32);
-        let c8 = downgrade_cost(&s, from, to8);
+        let c32 = downgrade_cost(&s, from, to32).unwrap();
+        let c8 = downgrade_cost(&s, from, to8).unwrap();
         assert!(
             c8 > c32,
             "downgrading to 8 regs ({c8}) must cost more than to 32 ({c32})"
@@ -442,7 +472,7 @@ mod tests {
         let s = spec("bzip2");
         let from: FeatureSet = "x86-32D-32W".parse().unwrap();
         let to: FeatureSet = "microx86-32D-32W".parse().unwrap();
-        let c = downgrade_cost(&s, from, to);
+        let c = downgrade_cost(&s, from, to).unwrap();
         assert!((0.95..1.35).contains(&c), "complexity downgrade cost {c}");
     }
 }

@@ -1,0 +1,85 @@
+//! Structured errors for the migration/downgrade pipeline.
+//!
+//! Downgrade emulation sits between the compiler and the cycle
+//! simulator, so its failures come from both sides: a phase whose IR
+//! does not compile for the requested feature set, or an emulation
+//! invariant (a memory operand or destination register that vanished
+//! mid-transform — only possible on corrupted input). Each variant
+//! names the phase, feature set, and block/instruction coordinates so
+//! a sweep can report *which* migration failed without aborting the
+//! rest.
+
+use std::fmt;
+
+use cisa_compiler::CompileError;
+use cisa_isa::FeatureSet;
+
+/// Errors of the migration/downgrade pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MigrateError {
+    /// The phase's IR failed to compile for a feature set.
+    Compile {
+        /// Benchmark name of the failing phase.
+        benchmark: String,
+        /// Phase index within the benchmark.
+        phase: usize,
+        /// The feature set the compile targeted.
+        fs: FeatureSet,
+        /// The underlying compiler error.
+        source: CompileError,
+    },
+    /// An emulation-transform invariant failed on one instruction —
+    /// seen only when the input code was corrupted in flight.
+    Emulation {
+        /// Block index within the compiled code.
+        block: usize,
+        /// Instruction index within the block.
+        index: usize,
+        /// What invariant broke.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrateError::Compile {
+                benchmark,
+                phase,
+                fs,
+                source,
+            } => write!(f, "compiling {benchmark} phase {phase} for {fs}: {source}"),
+            MigrateError::Emulation {
+                block,
+                index,
+                reason,
+            } => write!(f, "emulating block {block}, instruction {index}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MigrateError::Compile { source, .. } => Some(source),
+            MigrateError::Emulation { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_site() {
+        let e = MigrateError::Emulation {
+            block: 3,
+            index: 7,
+            reason: "memory operand vanished",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("block 3"), "{msg}");
+        assert!(msg.contains("instruction 7"), "{msg}");
+    }
+}

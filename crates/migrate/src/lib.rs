@@ -12,7 +12,9 @@
 //! analysis (1,863 migrations, 0.42% average degradation).
 
 pub mod downgrade;
+pub mod error;
 pub mod migration;
 
 pub use downgrade::{downgrade_cost, emulate, EmulationStats};
+pub use error::MigrateError;
 pub use migration::{MigrationConfig, MigrationReport, MigrationSim};

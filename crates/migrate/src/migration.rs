@@ -20,6 +20,7 @@ use cisa_workloads::all_benchmarks;
 use cisa_workloads::all_phases;
 
 use crate::downgrade::downgrade_cost;
+use crate::error::MigrateError;
 
 /// Knobs of the migration replay.
 #[derive(Debug, Clone, Copy)]
@@ -141,13 +142,18 @@ impl<'a> MigrationSim<'a> {
             .unwrap_or_else(FeatureSet::x86_64)
     }
 
-    fn downgrade_factor(&mut self, bench: usize, from: FeatureSet, to: FeatureSet) -> f64 {
+    fn downgrade_factor(
+        &mut self,
+        bench: usize,
+        from: FeatureSet,
+        to: FeatureSet,
+    ) -> Result<f64, MigrateError> {
         if to.covers(&from) {
-            return 1.0;
+            return Ok(1.0);
         }
         let key = (bench, from, to);
         if let Some(&c) = self.cost_cache.get(&key) {
-            return c;
+            return Ok(c);
         }
         // Measure on the benchmark's first phase.
         let bench_id = self.eval.bench_ids[bench] as usize;
@@ -157,14 +163,18 @@ impl<'a> MigrationSim<'a> {
             .expect("benchmark exists")
             .phases
             .remove(0);
-        let c = downgrade_cost(&spec, from, to).max(0.8);
+        let c = downgrade_cost(&spec, from, to)?.max(0.8);
         self.cost_cache.insert(key, c);
-        c
+        Ok(c)
     }
 
     /// Replays all workload mixes on a multicore, charging migration and
     /// downgrade costs.
-    pub fn replay(&mut self, cores: &[CoreChoice; 4]) -> MigrationReport {
+    ///
+    /// Fails only if a downgrade-cost measurement fails (a phase that
+    /// does not compile — seen only under fault injection); the error
+    /// names the phase and feature set.
+    pub fn replay(&mut self, cores: &[CoreChoice; 4]) -> Result<MigrationReport, MigrateError> {
         let mut report = MigrationReport::default();
         let combos = self.eval.combos.clone();
         let steps = self.config.steps;
@@ -218,7 +228,7 @@ impl<'a> MigrationSim<'a> {
                             for gap in cfs.downgrade_gaps(&bfs) {
                                 *report.downgrades.entry(gap_label(&gap)).or_default() += 1;
                             }
-                            time *= self.downgrade_factor(combo[t] as usize, bfs, cfs);
+                            time *= self.downgrade_factor(combo[t] as usize, bfs, cfs)?;
                         }
                     }
                     cost_total += self.eval.ref_time[p] * units / time;
@@ -229,7 +239,7 @@ impl<'a> MigrationSim<'a> {
         }
         report.throughput_free = free_total / count as f64;
         report.throughput_with_costs = cost_total / count as f64;
-        report
+        Ok(report)
     }
 }
 
@@ -269,7 +279,7 @@ mod tests {
         )
         .expect("feasible");
         let mut sim = MigrationSim::new(&eval, MigrationConfig::default());
-        let report = sim.replay(&best.cores);
+        let report = sim.replay(&best.cores).expect("fault-free replay");
         assert!(report.migrations > 0, "threads must migrate");
         let deg = report.degradation();
         assert!(
@@ -296,7 +306,7 @@ mod tests {
         let ref_id = cisa_explore::reference_design(space);
         let cores = [CoreChoice::Composite(ref_id); 4];
         let mut sim = MigrationSim::new(&eval, MigrationConfig::default());
-        let report = sim.replay(&cores);
+        let report = sim.replay(&cores).expect("fault-free replay");
         assert_eq!(
             report.total_downgrades(),
             0,

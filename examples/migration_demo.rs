@@ -10,7 +10,7 @@ use composite_isa::isa::FeatureSet;
 use composite_isa::migrate::{downgrade_cost, emulate};
 use composite_isa::workloads::{all_phases, generate};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = all_phases()
         .into_iter()
         .find(|p| p.benchmark == "sjeng")
@@ -31,8 +31,8 @@ fn main() {
         "microx86-8D-32W",
     ] {
         let fs: FeatureSet = target.parse().expect("valid");
-        let (emulated, stats) = emulate(&code, &fs);
-        let cost = downgrade_cost(&spec, superset, fs);
+        let (emulated, stats) = emulate(&code, &fs)?;
+        let cost = downgrade_cost(&spec, superset, fs)?;
         println!(
             "\nmigrate to {target} ({} feature gaps):",
             fs.downgrade_gaps(&superset).len()
@@ -47,4 +47,5 @@ fn main() {
         println!("  measured slowdown: {:+.1}%", (cost - 1.0) * 100.0);
     }
     println!("\nupgrades (moving to a covering core) are always free: no translation at all.");
+    Ok(())
 }
