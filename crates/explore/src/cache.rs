@@ -39,7 +39,11 @@ use crate::profile::{PhaseProfile, PROBE_UOPS};
 
 /// Version of the probe computation + serialized profile layout. Bump
 /// on any change to `probe`, `fit`, or the `PhaseProfile` fields.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: the probe became the fused single-pass sweep over a
+/// `TraceArena` (bit-identical to v1's multi-pass reference by
+/// construction and by test, but versioned per the policy above).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Magic bytes heading every cache file.
 const FILE_MAGIC: u64 = 0xC15A_CAC4_E000_0000 | SCHEMA_VERSION as u64;
@@ -49,7 +53,7 @@ const FILE_MAGIC: u64 = 0xC15A_CAC4_E000_0000 | SCHEMA_VERSION as u64;
 const TRACE_SEED: u64 = 0xBEEF;
 
 /// 64-bit FNV-1a over a byte string.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;

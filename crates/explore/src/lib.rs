@@ -47,7 +47,10 @@ pub use multicore::{
     reference_design, search, search_reported, Budget, CoreChoice, Evaluator, Objective,
     SearchConfig, SearchResult,
 };
-pub use profile::{probe, probes_run, PhaseProfile, PROBE_UOPS};
+pub use profile::{
+    codegen_fingerprint, probe, probe_reference, probes_run, PhaseProfile, StoreForwardTable,
+    PROBE_UOPS,
+};
 pub use runner::{par_map, par_map_isolated, threads, ItemError, SweepReport, SweepRunner};
 pub use space::{all_microarchs, DesignId, DesignSpace, MicroArch};
 pub use systems::{

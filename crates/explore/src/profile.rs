@@ -13,11 +13,15 @@
 //! 180 microarchitectures from those measurements.
 
 use cisa_compiler::{compile, CompileOptions, CompiledCode};
-use cisa_decode::{DecodeFrontend, DecoderConfig, MacroRecord};
+use cisa_decode::{DecodeFrontend, DecoderConfig, MacroRecord, SupplySource};
+use cisa_isa::encoding::Encoder;
 use cisa_isa::uop::MicroOpKind;
 use cisa_isa::FeatureSet;
-use cisa_sim::{simulate, Cache, CoreConfig, ExecSemantics, PredictorKind, WindowConfig};
-use cisa_workloads::{generate, DynUop, PhaseSpec, TraceGenerator, TraceParams};
+use cisa_sim::{
+    simulate, simulate_shared_frontend, Cache, CoreConfig, ExecSemantics, PredictorKind,
+    SupplyTrace, WindowConfig,
+};
+use cisa_workloads::{generate, DynUop, PhaseSpec, TraceArena, TraceGenerator, TraceParams};
 
 /// Trace length used by probes (micro-ops).
 pub const PROBE_UOPS: usize = 48_000;
@@ -219,9 +223,145 @@ pub fn reference_io(fs: FeatureSet) -> CoreConfig {
     }
 }
 
+/// Number of store slots the forwarding table retains. Equals the
+/// forwarding window in micro-ops, which is what makes the bounded
+/// table exact (see [`StoreForwardTable`]).
+const FWD_WINDOW: usize = 64;
+
+/// Bounded store-index table for the store-to-load forwarding
+/// measurement.
+///
+/// The original pass kept a `HashMap<u64, usize>` from 8-byte line
+/// address to the index of the last store that wrote it — growing
+/// without bound over the trace (every distinct line stays resident
+/// forever). A load only forwards when that store is within the last
+/// [`FWD_WINDOW`] micro-ops, and the window bounds how much history
+/// can matter: this table keeps just the [`FWD_WINDOW`] most recent
+/// stores, direct-mapped on store *sequence number*, and scans
+/// newest-to-oldest for the line.
+///
+/// The replacement is exactly equivalent to the unbounded map, not an
+/// approximation. If the most recent store to a line has been
+/// displaced, at least [`FWD_WINDOW`] later stores exist, each at a
+/// distinct micro-op index strictly between that store's index `j` and
+/// the querying load's index `i`, so `i - j > FWD_WINDOW` and the
+/// window check `i - j < FWD_WINDOW` would have rejected the forward
+/// anyway. Conversely, a store passing the window check has fewer than
+/// [`FWD_WINDOW`] micro-ops (hence fewer than [`FWD_WINDOW`] stores)
+/// after it and is still resident, and the newest-to-oldest scan
+/// returns the most recent store to the line — the map's last-writer
+/// entry.
+#[derive(Debug, Clone)]
+pub struct StoreForwardTable {
+    /// `(line address, uop index)` of recent stores, direct-mapped on
+    /// store sequence number.
+    slots: [(u64, usize); FWD_WINDOW],
+    /// Stores recorded so far.
+    stores: usize,
+}
+
+impl Default for StoreForwardTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StoreForwardTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        StoreForwardTable {
+            slots: [(0, 0); FWD_WINDOW],
+            stores: 0,
+        }
+    }
+
+    /// Records a store to `line` at micro-op index `i`.
+    #[inline]
+    pub fn record_store(&mut self, line: u64, i: usize) {
+        self.slots[self.stores % FWD_WINDOW] = (line, i);
+        self.stores += 1;
+    }
+
+    /// Micro-op index of the most recent resident store to `line`.
+    #[inline]
+    pub fn last_store(&self, line: u64) -> Option<usize> {
+        let depth = self.stores.min(FWD_WINDOW);
+        for k in 1..=depth {
+            let (l, idx) = self.slots[(self.stores - k) % FWD_WINDOW];
+            if l == line {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Whether a load of `line` at micro-op index `i` would forward
+    /// from a recent store.
+    #[inline]
+    pub fn forwards(&self, line: u64, i: usize) -> bool {
+        matches!(self.last_store(line), Some(j) if i - j < FWD_WINDOW)
+    }
+}
+
+/// Stable 64-bit fingerprint of everything a probe observes from
+/// compiled code.
+///
+/// Two (phase, feature set) pairs with the same [`PhaseSpec`] and
+/// equal fingerprints produce bit-identical [`PhaseProfile`]s: the
+/// probe is a pure function of the compiled blocks (instructions,
+/// terminators, weights, vectorization, encoded bytes), the code
+/// statistics it copies into the profile, and the only two feature-set
+/// dimensions the measurement pipeline reads directly — complexity
+/// (decoder configuration, reference-core frontends) and register
+/// width (trace footprint scaling). Feature sets differing only in
+/// dimensions the generated code happens not to exercise (deeper
+/// register files with no spills to reclaim, predication on a phase
+/// with no convertible branches) therefore collapse to one
+/// fingerprint, and [`crate::runner::SweepRunner`] reuses the measured
+/// profile instead of re-probing.
+pub fn codegen_fingerprint(code: &CompiledCode) -> u64 {
+    use std::fmt::Write as _;
+    let enc = Encoder::new(code.fs);
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "cx={:?} w={:?} uops={:#x} len={:#x} bytes={}",
+        code.fs.complexity(),
+        code.fs.width(),
+        code.stats.total_uops().to_bits(),
+        code.stats.avg_inst_bytes.to_bits(),
+        code.stats.code_bytes,
+    );
+    for b in &code.blocks {
+        let _ = write!(
+            s,
+            "|blk w={:#x} v={} cb={} t={:?};",
+            b.weight.to_bits(),
+            b.vectorized,
+            b.code_bytes,
+            b.term,
+        );
+        for inst in &b.insts {
+            let _ = write!(s, "{inst:?};");
+        }
+        match enc.encode_stream(&b.insts) {
+            Ok(bytes) => {
+                s.push('#');
+                for byte in bytes {
+                    let _ = write!(s, "{byte:02x}");
+                }
+            }
+            Err(e) => {
+                let _ = write!(s, "#enc-err:{e}");
+            }
+        }
+    }
+    crate::cache::fnv1a(s.as_bytes())
+}
+
 /// # Example
 ///
-/// ```
+/// ```no_run
 /// use cisa_explore::probe;
 /// use cisa_isa::FeatureSet;
 /// use cisa_workloads::all_phases;
@@ -230,6 +370,11 @@ pub fn reference_io(fs: FeatureSet) -> CoreConfig {
 /// assert!(profile.uops_per_unit > 0.0);
 /// assert!(profile.uopc_hit_rate <= 1.0);
 /// ```
+/// (Marked `no_run`: a full probe expands a 48k-uop trace and runs
+/// three calibration simulations — too slow for `cargo test --doc`.
+/// The same assertions run as the `doctest_assertions_hold` unit
+/// test.)
+///
 /// Probes one (phase, feature set) pair.
 pub fn probe(spec: &PhaseSpec, fs: FeatureSet) -> PhaseProfile {
     let code = compile(&generate(spec), &fs, &CompileOptions::default())
@@ -239,7 +384,170 @@ pub fn probe(spec: &PhaseSpec, fs: FeatureSet) -> PhaseProfile {
 
 /// Probe from already-compiled code (used when the caller also needs
 /// the code).
+///
+/// This is the fused single-pass implementation: the trace is
+/// materialized once into a [`TraceArena`] and every measurement
+/// structure — micro-op mix, all three branch predictors, all four
+/// L1D/L2 cache geometries, the decode frontend with both L1I sizes,
+/// and the store-forward table — updates per micro-op in one streaming
+/// sweep over the arena columns. The three calibration simulations
+/// then replay the same arena instead of regenerating the trace.
+/// Results are bit-identical to the multi-pass
+/// [`probe_compiled_reference`], which is kept as the executable
+/// specification and asserted equal in tests.
 pub fn probe_compiled(spec: &PhaseSpec, code: &CompiledCode) -> PhaseProfile {
+    PROBES_RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let fs = code.fs;
+    let params = TraceParams {
+        max_uops: PROBE_UOPS,
+        seed: 0xBEEF,
+    };
+    let arena = TraceArena::build(code, spec, params);
+    let n = arena.len().max(1) as f64;
+
+    let mut mix_counts = [0u64; 8];
+    let mut predictors = PredictorKind::ALL.map(|k| (pred_idx(k), k.build()));
+    let mut branch_misses = [0u64; 3];
+    let mut l1d = [Cache::new(32 * 1024, 4), Cache::new(64 * 1024, 4)];
+    let mut l2 = [
+        [Cache::new(1024 * 1024, 4), Cache::new(2048 * 1024, 8)],
+        [Cache::new(1024 * 1024, 4), Cache::new(2048 * 1024, 8)],
+    ];
+    let mut l2_misses = [[0u64; 2]; 2];
+    let mut l1i = [Cache::new(32 * 1024, 4), Cache::new(64 * 1024, 4)];
+    let mut macros = 0u64;
+    let mut fwd_table = StoreForwardTable::new();
+    let mut fwd = 0u64;
+
+    // One decode-frontend walk serves the whole probe: the supply
+    // stream gates the L1I measurement below, provides the micro-op
+    // cache hit rate, and is replayed into all three calibration
+    // simulations (the frontend is functional, so every consumer sees
+    // identical decisions; see `cisa_sim::SupplyTrace`).
+    let supply = SupplyTrace::capture(DecoderConfig::for_complexity(fs.complexity()), &arena);
+    let sources = supply.sources();
+    let mut next_macro = 0usize;
+
+    let kinds = arena.kinds();
+    let pcs = arena.pcs();
+    let addrs = arena.mem_addrs();
+
+    for i in 0..arena.len() {
+        let kind = kinds[i];
+        mix_counts[mix_idx(kind)] += 1;
+
+        if kind == MicroOpKind::Branch {
+            let pc = pcs[i];
+            let taken = arena.is_taken(i);
+            for (slot, p) in predictors.iter_mut() {
+                if p.predict(pc) != taken {
+                    branch_misses[*slot] += 1;
+                }
+                p.update(pc, taken);
+            }
+        }
+
+        if kind.is_mem() {
+            let addr = addrs[i];
+            for (g, l1) in l1d.iter_mut().enumerate() {
+                if !l1.access(addr) {
+                    if !l2[g][0].access(addr) {
+                        l2_misses[g][0] += 1;
+                    }
+                    if !l2[g][1].access(addr) {
+                        l2_misses[g][1] += 1;
+                    }
+                }
+            }
+            let line = addr & !7;
+            if kind == MicroOpKind::Store {
+                fwd_table.record_store(line, i);
+            } else if fwd_table.forwards(line, i) {
+                fwd += 1;
+            }
+        }
+
+        if arena.is_first(i) {
+            macros += 1;
+            let src = sources[next_macro];
+            next_macro += 1;
+            if src != SupplySource::UopCache {
+                for c in &mut l1i {
+                    c.access(pcs[i]);
+                }
+            }
+        }
+    }
+
+    let mut mix = [0.0f64; 8];
+    for (m, &c) in mix.iter_mut().zip(&mix_counts) {
+        *m = c as f64 / n;
+    }
+    let mut mispredict_per_uop = [0.0f64; 3];
+    for (m, &c) in mispredict_per_uop.iter_mut().zip(&branch_misses) {
+        *m = c as f64 / n;
+    }
+    let l1d_miss_per_uop = [l1d[0].misses as f64 / n, l1d[1].misses as f64 / n];
+    let mut l2_miss_per_uop = [[0.0f64; 2]; 2];
+    for g in 0..2 {
+        for s in 0..2 {
+            l2_miss_per_uop[g][s] = l2_misses[g][s] as f64 / n;
+        }
+    }
+    let uopc_hit_rate = supply.stats().uop_cache_hit_rate();
+    let l1i_miss_per_uop = [l1i[0].misses as f64 / n, l1i[1].misses as f64 / n];
+
+    // Calibration simulations replay the arena (bit-identical to fresh
+    // trace generation; asserted in cisa-sim's tests) and share the
+    // captured decode-supply stream instead of re-walking the micro-op
+    // cache per core.
+    let sims = simulate_shared_frontend(
+        &[reference_ooo(fs), reference_ooo_large(fs), reference_io(fs)],
+        &arena,
+        &supply,
+    );
+    let ref_ooo_cpu = sims[0].cycles as f64 / n;
+    let ref_ooo_large_cpu = sims[1].cycles as f64 / n;
+    let ref_io_cpu = sims[2].cycles as f64 / n;
+
+    let mut profile = PhaseProfile {
+        uops_per_unit: code.stats.total_uops(),
+        macro_per_uop: macros as f64 / n,
+        avg_macro_len: code.stats.avg_inst_bytes,
+        code_bytes: code.stats.code_bytes as f64,
+        mix,
+        mispredict_per_uop,
+        l1d_miss_per_uop,
+        l2_miss_per_uop,
+        l1i_miss_per_uop,
+        uopc_hit_rate,
+        fwd_per_uop: fwd as f64 / n,
+        ilp: 2.0,            // fitted below
+        mem_overlap: 1.0,    // fitted below
+        io_stall_scale: 1.0, // fitted below
+        ref_ooo_cpu,
+        ref_ooo_large_cpu,
+        ref_io_cpu,
+    };
+    crate::interval::fit(&mut profile);
+    profile
+}
+
+/// [`probe`] via the multi-pass reference implementation.
+pub fn probe_reference(spec: &PhaseSpec, fs: FeatureSet) -> PhaseProfile {
+    let code = compile(&generate(spec), &fs, &CompileOptions::default())
+        .expect("generated phases always compile");
+    probe_compiled_reference(spec, &code)
+}
+
+/// The original multi-pass probe, kept as the executable specification
+/// for [`probe_compiled`]: it walks the trace once per measurement
+/// (mix, three predictor passes, two cache-geometry passes, the
+/// frontend pass, the store-forwarding pass with the historical
+/// unbounded `HashMap`) and regenerates the trace for each calibration
+/// simulation. Tests assert the fused implementation is bit-identical;
+/// the timing benchmark measures the speedup against it.
+pub fn probe_compiled_reference(spec: &PhaseSpec, code: &CompiledCode) -> PhaseProfile {
     PROBES_RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let fs = code.fs;
     let params = TraceParams {
@@ -294,26 +602,28 @@ pub fn probe_compiled(spec: &PhaseSpec, code: &CompiledCode) -> PhaseProfile {
         l2_miss_per_uop[i][1] /= n;
     }
 
-    // Instruction-side behaviour: micro-op cache + L1I per size.
+    // Instruction-side behaviour: micro-op cache + L1I per size. The
+    // batch supply path charges the L1I caches only for macro-ops that
+    // engaged the decode pipeline.
     let mut fe = DecodeFrontend::new(DecoderConfig::for_complexity(fs.complexity()));
     let mut l1i = [Cache::new(32 * 1024, 4), Cache::new(64 * 1024, 4)];
-    let mut macros = 0u64;
-    for u in trace.iter().filter(|u| u.first) {
-        macros += 1;
-        let rec = MacroRecord {
+    let recs: Vec<MacroRecord> = trace
+        .iter()
+        .filter(|u| u.first)
+        .map(|u| MacroRecord {
             pc: u.pc,
             len: u.len,
             uops: u.macro_uops,
             fusible_cmp: false,
             is_branch: u.kind == MicroOpKind::Branch,
-        };
-        let (src, _) = fe.supply(&rec);
-        if src != cisa_decode::SupplySource::UopCache {
-            for c in &mut l1i {
-                c.access(u.pc);
-            }
+        })
+        .collect();
+    let macros = recs.len() as u64;
+    fe.supply_batch(&recs, |rec| {
+        for c in &mut l1i {
+            c.access(rec.pc);
         }
-    }
+    });
     let uopc_hit_rate = fe.stats().uop_cache_hit_rate();
     let l1i_miss_per_uop = [l1i[0].misses as f64 / n, l1i[1].misses as f64 / n];
 
@@ -450,5 +760,54 @@ mod tests {
             probe(&s, FeatureSet::x86_64()),
             probe(&s, FeatureSet::x86_64())
         );
+    }
+
+    /// The assertions from the (`no_run`) doctest on [`probe`].
+    #[test]
+    fn doctest_assertions_hold() {
+        let profile = probe(&all_phases()[0], FeatureSet::x86_64());
+        assert!(profile.uops_per_unit > 0.0);
+        assert!(profile.uopc_hit_rate <= 1.0);
+    }
+
+    #[test]
+    fn fused_probe_matches_reference_bit_for_bit() {
+        let s = spec("hmmer");
+        let fused = probe(&s, FeatureSet::x86_64());
+        let reference = probe_reference(&s, FeatureSet::x86_64());
+        assert_eq!(fused.to_values(), reference.to_values());
+    }
+
+    #[test]
+    fn forward_table_matches_unbounded_map_on_adversarial_stream() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0x5707_F07D);
+        // Alternating stores/loads over few lines (dense reuse) plus a
+        // long unique-line tail (eviction pressure), so both the
+        // window-hit and displaced-store paths are exercised.
+        let mut map: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let mut table = StoreForwardTable::new();
+        let mut map_fwd = 0u64;
+        let mut table_fwd = 0u64;
+        for i in 0..200_000usize {
+            let line = if rng.gen_bool(0.7) {
+                (rng.gen_range(0u64..40)) * 8
+            } else {
+                (rng.gen_range(0u64..100_000)) * 8
+            };
+            if rng.gen_bool(0.5) {
+                map.insert(line, i);
+                table.record_store(line, i);
+            } else {
+                if matches!(map.get(&line), Some(&j) if i - j < 64) {
+                    map_fwd += 1;
+                }
+                if table.forwards(line, i) {
+                    table_fwd += 1;
+                }
+            }
+        }
+        assert!(map_fwd > 0, "stream must exercise forwarding");
+        assert_eq!(table_fwd, map_fwd);
     }
 }

@@ -24,10 +24,12 @@
 //! scoped threads with an atomic work queue, not an external pool.
 
 use std::cell::Cell;
+use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use cisa_compiler::{compile, CompileOptions};
 use cisa_isa::encoding::InstLengthDecoder;
@@ -35,9 +37,9 @@ use cisa_isa::inst::MachineInst;
 use cisa_isa::{Encoder, FeatureSet};
 use cisa_workloads::{generate, PhaseSpec};
 
-use crate::cache::ProfileCache;
+use crate::cache::{fnv1a, ProfileCache};
 use crate::faults::FaultPlan;
-use crate::profile::{probe, PhaseProfile};
+use crate::profile::{codegen_fingerprint, probe_compiled, PhaseProfile};
 
 thread_local! {
     /// Set inside `par_map` workers so nested sweeps degrade to serial
@@ -295,6 +297,14 @@ pub struct SweepRunner {
     cache: Option<ProfileCache>,
     faults: Option<FaultPlan>,
     max_attempts: u32,
+    /// In-process probe dedup, keyed by (phase fingerprint, codegen
+    /// fingerprint). Each cell is filled by exactly one probe;
+    /// concurrent requests for the same key block on the same
+    /// `OnceLock`, so the probe count stays deterministic at any
+    /// thread count.
+    dedup: Mutex<HashMap<u64, Arc<OnceLock<PhaseProfile>>>>,
+    /// Probes answered from an already-measured fingerprint.
+    dedup_hits: AtomicU64,
 }
 
 impl SweepRunner {
@@ -309,6 +319,8 @@ impl SweepRunner {
             cache: None,
             faults: None,
             max_attempts: Self::DEFAULT_MAX_ATTEMPTS,
+            dedup: Mutex::new(HashMap::new()),
+            dedup_hits: AtomicU64::new(0),
         }
     }
 
@@ -382,20 +394,54 @@ impl SweepRunner {
         par_map_isolated(items, self.n_threads, self.max_attempts, f)
     }
 
+    /// Probes answered from the in-process dedup map instead of a full
+    /// probe (two feature sets compiled a phase to identical code).
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits.load(Ordering::Relaxed)
+    }
+
     /// Probes one (phase, feature set) pair through the cache: load on
-    /// hit, probe-and-store on miss. Without a cache this is a plain
-    /// [`probe`].
+    /// hit, otherwise compile, consult the in-process codegen-dedup
+    /// map, and probe-and-store on a genuine miss.
+    ///
+    /// Dedup: the probe is a pure function of the phase spec and the
+    /// compiled code (see [`codegen_fingerprint`]), so when two feature
+    /// sets compile a phase to byte-identical code the second request
+    /// reuses the measured [`PhaseProfile`] — bit-identical to what an
+    /// independent probe would return — and only [`dedup_hits`]
+    /// advances, not [`crate::probes_run`]. The on-disk cache stays
+    /// keyed per (phase, feature set), so warm runs never need the
+    /// compile step at all.
+    ///
+    /// [`dedup_hits`]: SweepRunner::dedup_hits
     pub fn probe(&self, spec: &PhaseSpec, fs: FeatureSet) -> PhaseProfile {
         if let Some(cache) = &self.cache {
             if let Some(p) = cache.load(spec, fs) {
                 return p;
             }
-            let p = probe(spec, fs);
-            cache.store(spec, fs, &p);
-            p
-        } else {
-            probe(spec, fs)
         }
+        let code = compile(&generate(spec), &fs, &CompileOptions::default())
+            .expect("generated phases always compile");
+        let key =
+            fnv1a(format!("{}|{:#x}", spec.fingerprint(), codegen_fingerprint(&code)).as_bytes());
+        let cell = {
+            let mut map = self.dedup.lock().expect("dedup map poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        // Exactly one caller per key runs the probe; a panicking probe
+        // (fault injection) leaves the cell empty for the retry.
+        let mut ran = false;
+        let p = *cell.get_or_init(|| {
+            ran = true;
+            probe_compiled(spec, &code)
+        });
+        if !ran {
+            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(cache) = &self.cache {
+            cache.store(spec, fs, &p);
+        }
+        p
     }
 
     /// Fault-aware probe for reported sweeps: identical to

@@ -1,0 +1,143 @@
+//! Acceptance tests for the fused single-pass probe: bit-identity
+//! against the multi-pass reference implementation, the bounded
+//! store-forwarding table regression, and codegen-fingerprint dedup.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use cisa_compiler::{compile, CompileOptions};
+use cisa_explore::profile::{probe_compiled, probe_compiled_reference};
+use cisa_explore::{codegen_fingerprint, probes_run, DesignSpace, StoreForwardTable, SweepRunner};
+use cisa_isa::uop::MicroOpKind;
+use cisa_isa::FeatureSet;
+use cisa_workloads::{all_phases, generate, PhaseSpec, TraceGenerator, TraceParams};
+
+/// The global probe counter is process-wide; tests that measure deltas
+/// must not run concurrently with other probing tests in this binary.
+static PROBE_COUNTER: Mutex<()> = Mutex::new(());
+
+fn compiled(spec: &PhaseSpec, fs: FeatureSet) -> cisa_compiler::CompiledCode {
+    compile(&generate(spec), &fs, &CompileOptions::default()).unwrap()
+}
+
+fn phase(bench: &str) -> PhaseSpec {
+    all_phases()
+        .into_iter()
+        .find(|p| p.benchmark == bench)
+        .unwrap()
+}
+
+/// The tentpole contract: the fused single-pass probe is bit-identical
+/// to the multi-pass reference across phases with very different
+/// characters (pointer-chasing, irregular branches, vectorizable FP)
+/// and across complexities/widths/predication. Because the perf table
+/// is a deterministic function of the profiles, profile bit-identity
+/// carries over to `perf_table.bin`.
+#[test]
+fn fused_probe_is_bit_identical_to_reference() {
+    let _guard = PROBE_COUNTER.lock().unwrap();
+    let feature_sets: [FeatureSet; 3] = [
+        FeatureSet::x86_64(),
+        "microx86-16D-32W".parse().unwrap(),
+        "x86-16D-64W-P".parse().unwrap(),
+    ];
+    for bench in ["mcf", "sjeng", "lbm"] {
+        let spec = phase(bench);
+        for fs in feature_sets {
+            let code = compiled(&spec, fs);
+            let fused = probe_compiled(&spec, &code);
+            let reference = probe_compiled_reference(&spec, &code);
+            assert_eq!(
+                fused.to_values().map(f64::to_bits),
+                reference.to_values().map(f64::to_bits),
+                "{bench} on {fs}"
+            );
+        }
+    }
+}
+
+/// Satellite regression: the bounded [`StoreForwardTable`] reproduces
+/// the historical unbounded `HashMap` forwarding counts exactly, on
+/// every one of the 49 phases compiled for `x86_64()`.
+#[test]
+fn bounded_forward_table_matches_hashmap_on_all_phases() {
+    let params = TraceParams {
+        max_uops: cisa_explore::PROBE_UOPS,
+        seed: 0xBEEF,
+    };
+    let mut any_forwarding = false;
+    for spec in all_phases() {
+        let code = compiled(&spec, FeatureSet::x86_64());
+        let mut last_store: HashMap<u64, usize> = HashMap::new();
+        let mut table = StoreForwardTable::new();
+        let mut map_fwd = 0u64;
+        let mut table_fwd = 0u64;
+        for (i, u) in TraceGenerator::new(&code, &spec, params).enumerate() {
+            let line = u.mem_addr & !7;
+            match u.kind {
+                MicroOpKind::Store => {
+                    last_store.insert(line, i);
+                    table.record_store(line, i);
+                }
+                MicroOpKind::Load => {
+                    if matches!(last_store.get(&line), Some(&j) if i - j < 64) {
+                        map_fwd += 1;
+                    }
+                    if table.forwards(line, i) {
+                        table_fwd += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(table_fwd, map_fwd, "{}", spec.name());
+        any_forwarding |= map_fwd > 0;
+    }
+    assert!(any_forwarding, "the suite must exercise forwarding");
+}
+
+/// Satellite: probe dedup. At least one phase compiles to byte-identical
+/// code under multiple feature sets; for such a group the runner runs
+/// exactly one probe, counts the rest as dedup hits, and hands every
+/// member a profile bit-identical to an independent probe.
+#[test]
+fn codegen_dedup_collapses_identical_compilations() {
+    let _guard = PROBE_COUNTER.lock().unwrap();
+    let space = DesignSpace::new();
+    let (spec, group) = all_phases()
+        .into_iter()
+        .find_map(|spec| {
+            let mut by_fp: HashMap<u64, Vec<FeatureSet>> = HashMap::new();
+            for fs in &space.feature_sets {
+                by_fp
+                    .entry(codegen_fingerprint(&compiled(&spec, *fs)))
+                    .or_default()
+                    .push(*fs);
+            }
+            let mut groups: Vec<Vec<FeatureSet>> =
+                by_fp.into_values().filter(|g| g.len() >= 2).collect();
+            groups.sort_by_key(|g| std::cmp::Reverse(g.len()));
+            groups.into_iter().next().map(|g| (spec, g))
+        })
+        .expect("some phase must collapse feature sets to one codegen fingerprint");
+    assert!(group.len() >= 2);
+
+    let runner = SweepRunner::new(2);
+    let before = probes_run();
+    let deduped: Vec<_> = group.iter().map(|fs| runner.probe(&spec, *fs)).collect();
+    assert_eq!(
+        probes_run() - before,
+        1,
+        "one probe for the whole fingerprint group"
+    );
+    assert_eq!(runner.dedup_hits(), group.len() as u64 - 1);
+
+    for (fs, p) in group.iter().zip(&deduped) {
+        let independent = probe_compiled(&spec, &compiled(&spec, *fs));
+        assert_eq!(
+            p.to_values().map(f64::to_bits),
+            independent.to_values().map(f64::to_bits),
+            "deduped profile for {fs} must match an independent probe"
+        );
+    }
+}

@@ -72,14 +72,38 @@ fn warm_cache_rerun_does_zero_probes() {
     let space = DesignSpace::new();
     let fs: Vec<_> = space.feature_sets.iter().copied().take(4).collect();
 
+    // Codegen dedup means a cold run probes once per unique (phase,
+    // compiled-code fingerprint), not once per (phase, feature set)
+    // pair — feature sets that compile a phase to identical code share
+    // one probe.
+    let unique_codegens: std::collections::HashSet<(String, u64)> = phases
+        .iter()
+        .flat_map(|p| {
+            fs.iter().map(|f| {
+                let code = cisa_compiler::compile(
+                    &cisa_workloads::generate(p),
+                    f,
+                    &cisa_compiler::CompileOptions::default(),
+                )
+                .unwrap();
+                (p.fingerprint(), cisa_explore::codegen_fingerprint(&code))
+            })
+        })
+        .collect();
+
     let cold_runner = SweepRunner::new(2).with_cache(ProfileCache::new(&dir));
     let before = probes_run();
     let cold = cold_runner.profile_grid(&phases, &fs);
     let cold_probes = probes_run() - before;
     assert_eq!(
         cold_probes,
-        (phases.len() * fs.len()) as u64,
-        "cold run must probe every (phase, feature set) pair once"
+        unique_codegens.len() as u64,
+        "cold run must probe every unique (phase, codegen) once"
+    );
+    assert_eq!(
+        cold_runner.dedup_hits(),
+        (phases.len() * fs.len()) as u64 - cold_probes,
+        "every deduped pair must be answered from the dedup map"
     );
 
     // A fresh runner over the same cache directory: every pair must be

@@ -16,5 +16,8 @@ pub mod predictor;
 
 pub use cache::{Cache, Hierarchy, MemLatency, StreamPrefetcher};
 pub use config::{CoreConfig, ExecSemantics, WindowConfig};
-pub use pipeline::{simulate, simulate_with_prefetcher, Activity, SimResult};
+pub use pipeline::{
+    simulate, simulate_arena, simulate_shared_frontend, simulate_with_prefetcher, Activity,
+    SimResult, SupplyTrace,
+};
 pub use predictor::{BranchPredictor, Gshare, PredictorKind, Tournament, TwoLevelLocal};

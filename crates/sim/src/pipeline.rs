@@ -13,13 +13,46 @@
 //! stall fetch until the branch resolves plus a frontend refill.
 
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 
-use cisa_decode::{DecodeFrontend, DecoderConfig, MacroRecord, SupplySource};
+use cisa_decode::{DecodeFrontend, DecodeStats, DecoderConfig, MacroRecord, SupplySource};
 use cisa_isa::uop::{MicroOp, MicroOpKind, UopClass};
-use cisa_workloads::DynUop;
+use cisa_workloads::{DynUop, TraceArena};
 
 use crate::cache::Hierarchy;
 use crate::config::{CoreConfig, ExecSemantics};
+
+/// Multiplicative hasher for the store-forwarding map. Keys are cache
+/// line addresses produced by the trace generator, so SipHash's
+/// flooding resistance buys nothing here; hashing dominates the map's
+/// per-memory-op cost in the simulate hot loop. The hash function does
+/// not affect any observable `HashMap` behavior (insert/get/len/clear
+/// are value-exact regardless of hasher), so results are unchanged.
+#[derive(Default)]
+struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        // Fibonacci multiply: spreads line-address patterns across all
+        // bits with a single instruction.
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type LineMap = HashMap<u64, u64, BuildHasherDefault<LineHasher>>;
 
 /// Activity counters consumed by the power model.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -152,6 +185,144 @@ pub fn simulate(cfg: &CoreConfig, trace: impl Iterator<Item = DynUop>) -> SimRes
     simulate_with_prefetcher(cfg, trace, false)
 }
 
+/// Simulates a core over a pre-materialized [`TraceArena`], replaying
+/// the arena's micro-op stream instead of paying a fresh
+/// [`cisa_workloads::TraceGenerator`] expansion. The arena
+/// reconstruction is lossless, so this is bit-identical to
+/// [`simulate`] over a generator with the same parameters.
+pub fn simulate_arena(cfg: &CoreConfig, arena: &TraceArena) -> SimResult {
+    simulate(cfg, arena.uops())
+}
+
+/// The [`MacroRecord`] the frontend sees for a first micro-op, exactly
+/// as the simulation loop constructs it.
+#[inline]
+fn macro_record(u: &DynUop) -> MacroRecord {
+    MacroRecord {
+        pc: u.pc,
+        len: u.len,
+        uops: u.macro_uops,
+        fusible_cmp: u.kind == MicroOpKind::IntAlu && u.dst != MicroOp::NO_REG,
+        is_branch: u.kind == MicroOpKind::Branch,
+    }
+}
+
+/// A decode-supply stream captured once and replayed into several
+/// simulations.
+///
+/// The decode frontend is a *functional* state machine: which supply
+/// path serves each macro-op depends only on the macro-op sequence,
+/// never on pipeline timing. Cores that share a decoder configuration
+/// therefore see the identical supply-source stream for the same
+/// trace, and simulating several such cores (the probe's calibration
+/// trio in `cisa-explore`) can pay the micro-op cache walk once
+/// instead of once per core. Replay is bit-identical to a live
+/// frontend by construction; `cisa-sim`'s tests assert it.
+#[derive(Debug, Clone)]
+pub struct SupplyTrace {
+    decoder: DecoderConfig,
+    sources: Vec<SupplySource>,
+    stats: DecodeStats,
+}
+
+impl SupplyTrace {
+    /// Runs a live [`DecodeFrontend`] over the arena's macro-op stream
+    /// and records the supply source of every macro-op plus the final
+    /// activity counters.
+    pub fn capture(decoder: DecoderConfig, arena: &TraceArena) -> Self {
+        let mut fe = DecodeFrontend::new(decoder);
+        let mut sources = Vec::new();
+        for u in arena.uops() {
+            if u.first {
+                sources.push(fe.supply(&macro_record(&u)).0);
+            }
+        }
+        SupplyTrace {
+            decoder,
+            sources,
+            stats: *fe.stats(),
+        }
+    }
+
+    /// Supply source per macro-op, in fetch order.
+    pub fn sources(&self) -> &[SupplySource] {
+        &self.sources
+    }
+
+    /// Frontend activity counters for the whole stream.
+    pub fn stats(&self) -> &DecodeStats {
+        &self.stats
+    }
+}
+
+/// Where the simulation loop gets its per-macro-op supply decisions: a
+/// live frontend, or a captured [`SupplyTrace`] replayed in order.
+trait SupplySink {
+    fn source(&mut self, u: &DynUop) -> SupplySource;
+    fn stats(&self) -> DecodeStats;
+}
+
+struct LiveSupply(DecodeFrontend);
+
+impl SupplySink for LiveSupply {
+    #[inline]
+    fn source(&mut self, u: &DynUop) -> SupplySource {
+        self.0.supply(&macro_record(u)).0
+    }
+
+    fn stats(&self) -> DecodeStats {
+        *self.0.stats()
+    }
+}
+
+struct ReplaySupply<'a> {
+    trace: &'a SupplyTrace,
+    next: usize,
+}
+
+impl SupplySink for ReplaySupply<'_> {
+    #[inline]
+    fn source(&mut self, _u: &DynUop) -> SupplySource {
+        let s = self.trace.sources[self.next];
+        self.next += 1;
+        s
+    }
+
+    fn stats(&self) -> DecodeStats {
+        self.trace.stats
+    }
+}
+
+/// Simulates each core over the same arena, sharing one captured
+/// decode-supply stream across all of them. Every config must use the
+/// decoder configuration the trace was captured with (asserted);
+/// results are bit-identical to independent [`simulate_arena`] calls,
+/// minus the redundant frontend work.
+pub fn simulate_shared_frontend(
+    cfgs: &[CoreConfig],
+    arena: &TraceArena,
+    supply: &SupplyTrace,
+) -> Vec<SimResult> {
+    cfgs.iter()
+        .map(|cfg| {
+            assert_eq!(
+                DecoderConfig::for_complexity(cfg.fs.complexity()),
+                supply.decoder,
+                "supply trace was captured under a different decoder configuration"
+            );
+            run_pipeline(
+                cfg,
+                arena.uops(),
+                false,
+                ReplaySupply {
+                    trace: supply,
+                    next: 0,
+                },
+            )
+        })
+        .collect()
+}
+
 /// [`simulate`] with an optional L1D stream prefetcher (the prefetcher
 /// ablation; Table I has no prefetcher dimension, so the default
 /// simulations leave it off).
@@ -160,7 +331,21 @@ pub fn simulate_with_prefetcher(
     trace: impl Iterator<Item = DynUop>,
     prefetch: bool,
 ) -> SimResult {
-    let mut fe = DecodeFrontend::new(DecoderConfig::for_complexity(cfg.fs.complexity()));
+    let fe = DecodeFrontend::new(DecoderConfig::for_complexity(cfg.fs.complexity()));
+    run_pipeline(cfg, trace, prefetch, LiveSupply(fe))
+}
+
+/// The pipeline timing loop, generic over where decode-supply
+/// decisions come from (live frontend or captured replay). Everything
+/// except the supply source is computed here, so live and replayed
+/// runs execute the identical sequence of model updates.
+fn run_pipeline(
+    cfg: &CoreConfig,
+    trace: impl Iterator<Item = DynUop>,
+    prefetch: bool,
+    mut supply: impl SupplySink,
+) -> SimResult {
+    let decoder = DecoderConfig::for_complexity(cfg.fs.complexity());
     let l2_ways = if cfg.l2_kb >= 2048 { 8 } else { 4 };
     let mut hier = Hierarchy::new(
         cfg.l1_kb as u64 * 1024,
@@ -176,7 +361,7 @@ pub fn simulate_with_prefetcher(
 
     let ooo = cfg.sem == ExecSemantics::OutOfOrder;
     let width = cfg.width as u64;
-    let decode_width = fe.config().decode_width() as u64;
+    let decode_width = decoder.decode_width() as u64;
     let rob_cap = if ooo {
         cfg.window.rob as usize
     } else {
@@ -198,7 +383,9 @@ pub fn simulate_with_prefetcher(
     let mut rob: VecDeque<u64> = VecDeque::with_capacity(rob_cap); // commit times
     let mut iq: BinaryHeap<std::cmp::Reverse<u64>> = BinaryHeap::new(); // issue times
     let mut lsq: BinaryHeap<std::cmp::Reverse<u64>> = BinaryHeap::new(); // completion times
-    let mut store_fwd: HashMap<u64, u64> = HashMap::new();
+                                                                         // Pre-size past the 4096-entry clear threshold below so the map
+                                                                         // never rehash-grows mid-simulation.
+    let mut store_fwd = LineMap::with_capacity_and_hasher(8192, Default::default());
 
     // Frontend cursor.
     let mut fetch_cycle = 0u64;
@@ -221,14 +408,7 @@ pub fn simulate_with_prefetcher(
         // ---------------- frontend ----------------
         if u.first {
             act.macro_ops += 1;
-            let rec = MacroRecord {
-                pc: u.pc,
-                len: u.len,
-                uops: u.macro_uops,
-                fusible_cmp: u.kind == MicroOpKind::IntAlu && u.dst != MicroOp::NO_REG,
-                is_branch: u.kind == MicroOpKind::Branch,
-            };
-            let (source, _slots) = fe.supply(&rec);
+            let source = supply.source(&u);
             match source {
                 SupplySource::UopCache => {
                     cur_macro_capacity = width;
@@ -400,7 +580,7 @@ pub fn simulate_with_prefetcher(
     }
 
     // Fold decode/cache stats into the activity record.
-    let d = fe.stats();
+    let d = supply.stats();
     act.uopc_hits = d.uop_cache_hits;
     act.uopc_misses = d.uop_cache_misses;
     act.ild_bytes = d.ild_bytes;
@@ -443,6 +623,61 @@ mod tests {
             },
         );
         simulate(cfg, trace)
+    }
+
+    #[test]
+    fn arena_replay_is_bit_identical_to_generator() {
+        use cisa_workloads::TraceArena;
+        for (bench, fs) in [
+            ("mcf", FeatureSet::x86_64()),
+            ("lbm", "microx86-16D-32W".parse::<FeatureSet>().unwrap()),
+        ] {
+            let spec = phase(bench);
+            let code = compile(&generate(&spec), &fs, &CompileOptions::default()).unwrap();
+            let params = TraceParams {
+                max_uops: 20_000,
+                seed: 0xBEEF,
+            };
+            let cfg = CoreConfig::reference(fs);
+            let direct = simulate(&cfg, TraceGenerator::new(&code, &spec, params));
+            let arena = TraceArena::build(&code, &spec, params);
+            assert_eq!(simulate_arena(&cfg, &arena), direct, "{bench}");
+        }
+    }
+
+    #[test]
+    fn shared_frontend_is_bit_identical_to_independent_sims() {
+        use cisa_workloads::TraceArena;
+        for (bench, fs) in [
+            ("mcf", FeatureSet::x86_64()),
+            ("hmmer", "microx86-16D-32W".parse::<FeatureSet>().unwrap()),
+        ] {
+            let spec = phase(bench);
+            let code = compile(&generate(&spec), &fs, &CompileOptions::default()).unwrap();
+            let params = TraceParams {
+                max_uops: 20_000,
+                seed: 0xBEEF,
+            };
+            let arena = TraceArena::build(&code, &spec, params);
+            // Three configs sharing a decoder but differing in
+            // semantics, width, and window — the calibration shape.
+            let base = CoreConfig::reference(fs);
+            let cfgs = [
+                base,
+                CoreConfig { width: 4, ..base },
+                CoreConfig {
+                    sem: ExecSemantics::InOrder,
+                    ..base
+                },
+            ];
+            let supply =
+                SupplyTrace::capture(DecoderConfig::for_complexity(fs.complexity()), &arena);
+            let shared = simulate_shared_frontend(&cfgs, &arena, &supply);
+            for (cfg, shared) in cfgs.iter().zip(&shared) {
+                let independent = simulate_arena(cfg, &arena);
+                assert_eq!(*shared, independent, "{bench} {:?}", cfg.sem);
+            }
+        }
     }
 
     #[test]

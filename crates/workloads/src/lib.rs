@@ -13,11 +13,13 @@
 //! the behaviour annotations) for the cycle-level simulator, and
 //! [`simpoint`] implements the BBV + k-means phase analysis methodology.
 
+pub mod arena;
 pub mod benchmarks;
 pub mod generator;
 pub mod simpoint;
 pub mod trace;
 
+pub use arena::TraceArena;
 pub use benchmarks::{all_benchmarks, all_phases, benchmark, Benchmark, BranchStyle, PhaseSpec};
 pub use generator::generate;
 pub use trace::{DynUop, TraceGenerator, TraceParams};
