@@ -11,6 +11,11 @@
 //! 4. **register allocation** at the target's register depth (spills,
 //!    refills, rematerialization),
 //! 5. encoding and statistics.
+//!
+//! When [`CompileOptions::verify`] is enabled (the default in debug
+//! builds and tests), the staged verifier from [`crate::verify`] runs
+//! after every phase and the compile fails with
+//! [`CompileError::Verify`] on any violation.
 
 use cisa_isa::{FeatureSet, Predication};
 use std::fmt;
@@ -20,6 +25,7 @@ use crate::ifconvert::{if_convert, IfConvertConfig, IfConvertStats};
 use crate::ir::IrFunction;
 use crate::isel::select;
 use crate::regalloc::allocate;
+use crate::verify::{self, VerifyError, VerifyLevel};
 
 /// Options controlling a compilation.
 #[derive(Debug, Clone, Default)]
@@ -27,6 +33,9 @@ pub struct CompileOptions {
     /// If-conversion profitability knobs (used only when the target has
     /// full predication).
     pub ifconvert: IfConvertConfig,
+    /// Staged verification after each pipeline phase. Defaults to
+    /// `Full` in debug builds and tests, `Off` in release.
+    pub verify: VerifyLevel,
 }
 
 /// Errors from compilation.
@@ -34,12 +43,21 @@ pub struct CompileOptions {
 pub enum CompileError {
     /// The input IR failed validation.
     InvalidIr(String),
+    /// The staged verifier found violations after some phase.
+    Verify(Vec<VerifyError>),
 }
 
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::InvalidIr(msg) => write!(f, "invalid IR: {msg}"),
+            CompileError::Verify(violations) => {
+                write!(f, "verification failed: {} violation(s)", violations.len())?;
+                if let Some(first) = violations.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -77,15 +95,32 @@ pub fn compile(
 ) -> Result<CompiledCode, CompileError> {
     func.validate().map_err(CompileError::InvalidIr)?;
 
+    let checked = options.verify.enabled();
+    let mut violations = Vec::new();
+    if checked {
+        violations.extend(verify::verify_ir(func));
+    }
+
     let mut ir = func.clone();
     let ifc_stats = if fs.predication() == Predication::Full {
-        if_convert(&mut ir, &options.ifconvert)
+        let stats = if_convert(&mut ir, &options.ifconvert);
+        if checked {
+            violations.extend(verify::verify_ir(&ir));
+            violations.extend(verify::verify_predication(&ir, fs));
+        }
+        stats
     } else {
         IfConvertStats::default()
     };
 
     let vfunc = select(&ir, fs);
+    if checked {
+        violations.extend(verify::verify_isel(&vfunc, fs));
+    }
     let alloc = allocate(&vfunc, fs);
+    if checked {
+        violations.extend(verify::verify_regalloc(&alloc, fs));
+    }
     let regalloc_stats = alloc.stats;
 
     let blocks = alloc
@@ -94,13 +129,14 @@ pub fn compile(
         .map(|b| (b.insts, b.term, b.weight, b.vectorized))
         .collect();
 
-    Ok(finalize(
-        func.name.clone(),
-        *fs,
-        blocks,
-        regalloc_stats,
-        ifc_stats,
-    ))
+    let code = finalize(func.name.clone(), *fs, blocks, regalloc_stats, ifc_stats);
+    if checked {
+        violations.extend(verify::verify_encoding(&code));
+    }
+    if !violations.is_empty() {
+        return Err(CompileError::Verify(violations));
+    }
+    Ok(code)
 }
 
 /// Compiles one function for every one of the 26 feature sets, returning

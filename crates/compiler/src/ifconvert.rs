@@ -101,7 +101,12 @@ pub fn if_convert(func: &mut IrFunction, config: &IfConvertConfig) -> IfConvertS
         let f = not_taken.idx();
         let single_pred = |b: usize| preds[b].len() == 1 && preds[b][0].idx() == e;
         let hoistable = |b: &IrBlock, cfg: &IfConvertConfig| {
-            b.insts.len() <= cfg.max_block_size && b.insts.iter().all(|i| i.pred.is_none())
+            // An arm that redefines the guard register would corrupt the
+            // predicate for every instruction hoisted after it.
+            b.insts.len() <= cfg.max_block_size
+                && b.insts
+                    .iter()
+                    .all(|i| i.pred.is_none() && i.def() != Some(cond))
         };
 
         let p_taken = behavior.taken_prob;
@@ -344,6 +349,24 @@ mod tests {
         // The conditional exit itself remains a branch.
         assert!(matches!(func.blocks[0].term, Terminator::Branch { .. }));
         assert!(func.blocks[0].insts.iter().any(|i| i.pred.is_some()));
+    }
+
+    #[test]
+    fn never_converts_arms_that_redefine_the_guard() {
+        // If an arm writes the condition register, hoisting it would
+        // change the predicate seen by every later hoisted instruction.
+        let mut func = diamond(0.5, true, 2);
+        let cond = match func.blocks[0].term {
+            Terminator::Branch { cond, .. } => cond,
+            _ => unreachable!(),
+        };
+        let x = func.blocks[1].insts[0].dst;
+        func.blocks[1]
+            .insts
+            .push(IrInst::compute(IrOp::Cmp, cond, x, x));
+        func.validate().unwrap();
+        let stats = if_convert(&mut func, &IfConvertConfig::default());
+        assert_eq!(stats.total(), 0, "guard-clobbering arm must not convert");
     }
 
     #[test]

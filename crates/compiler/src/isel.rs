@@ -140,7 +140,7 @@ impl VInst {
     pub fn uop_count(&self) -> usize {
         match self.opcode {
             MacroOpcode::Call | MacroOpcode::Ret => 2,
-            MacroOpcode::Load | MacroOpcode::Store => 1,
+            MacroOpcode::Load | MacroOpcode::Store | MacroOpcode::Lea => 1,
             _ => match self.mem_role {
                 MemRole::None => 1,
                 MemRole::Src => 2,

@@ -27,6 +27,7 @@ pub mod ir;
 pub mod isel;
 pub mod regalloc;
 pub mod select_features;
+pub mod verify;
 
 pub use cfg::{is_reducible, natural_loops, Dominators, NaturalLoop};
 pub use code::{CodeStats, CompiledBlock, CompiledCode};
@@ -34,3 +35,4 @@ pub use driver::{compile, compile_all_feature_sets, CompileError, CompileOptions
 pub use ifconvert::{IfConvertConfig, IfConvertStats};
 pub use regalloc::RegAllocStats;
 pub use select_features::{select_feature_set, FeatureChoice};
+pub use verify::{VerifyError, VerifyLevel, VerifyPass};

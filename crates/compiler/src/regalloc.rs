@@ -75,6 +75,24 @@ pub struct AllocFunction {
     pub blocks: Vec<AllocBlock>,
     /// Statistics.
     pub stats: RegAllocStats,
+    /// Every live interval and where it ended up, over the linearized
+    /// instruction numbering — the post-regalloc verifier checks that
+    /// no two overlapping intervals share a register.
+    pub intervals: Vec<PlacedInterval>,
+}
+
+/// One live interval's placement: an architectural register, or `None`
+/// when the interval was spilled (or rematerialized).
+#[derive(Debug, Clone, Copy)]
+pub struct PlacedInterval {
+    /// The virtual register.
+    pub vreg: VReg,
+    /// Assigned architectural register, `None` if spilled.
+    pub reg: Option<ArchReg>,
+    /// First linearized instruction index covered.
+    pub start: u32,
+    /// Last linearized instruction index covered (inclusive).
+    pub end: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -151,10 +169,21 @@ pub fn allocate(func: &VFunction, fs: &FeatureSet) -> AllocFunction {
         blocks.push(rewrite_block(b, &reg_of, &spill_kind, &scratch, &mut stats));
     }
 
+    let placed = intervals
+        .iter()
+        .map(|iv| PlacedInterval {
+            vreg: iv.vreg,
+            reg: reg_of.get(&iv.vreg).copied(),
+            start: iv.start,
+            end: iv.end,
+        })
+        .collect();
+
     AllocFunction {
         name: func.name.clone(),
         blocks,
         stats,
+        intervals: placed,
     }
 }
 

@@ -173,6 +173,9 @@ mod tests {
             },
             200.0,
         );
+        // x must be initialized before the arms conditionally redefine
+        // it — the staged verifier rejects uses no definition reaches.
+        entry.insts.push(IrInst::constant(x, 7));
         entry.insts.push(IrInst::compute(IrOp::Cmp, c, x, x));
         f.add_block(entry);
         let mut t = IrBlock::new(Terminator::Jump(BlockId(3)), 100.0);

@@ -477,13 +477,25 @@ impl Encoder {
         Ok(bytes)
     }
 
+    /// The register that lands in the ModRM `rm` field (or the SIB base):
+    /// the memory base when there is a memory operand, otherwise the
+    /// register-direct rm operand chosen by [`Self::modrm_sib`]. The REX.b
+    /// and REXBC base extension bits must cover exactly this register or
+    /// high-register encodings collide.
+    fn rm_register(inst: &MachineInst) -> Option<ArchReg> {
+        inst.mem
+            .map(|m| m.base)
+            .or(inst.src2.reg())
+            .or(inst.src1.reg())
+    }
+
     fn rexbc_payload(inst: &MachineInst) -> u8 {
         // 2 bits each for reg, index, base extension; low 2 bits lift
         // the sub-register pairing restrictions (always set here).
         let ext = |r: Option<ArchReg>| r.map_or(0, |r| (r.index() >> 4) & 0x3);
         let reg = ext(inst.dst.or(inst.src1.reg()));
         let index = ext(inst.mem.and_then(|m| m.index));
-        let base = ext(inst.mem.map(|m| m.base));
+        let base = ext(Self::rm_register(inst));
         (reg << 6) | (index << 4) | (base << 2) | 0b11
     }
 
@@ -491,7 +503,7 @@ impl Encoder {
         let bit = |r: Option<ArchReg>| r.map_or(0, |r| (r.index() >> 3) & 1);
         let r = bit(inst.dst.or(inst.src1.reg()));
         let x = bit(inst.mem.and_then(|m| m.index));
-        let b = bit(inst.mem.map(|m| m.base).or(inst.src2.reg()));
+        let b = bit(Self::rm_register(inst));
         (r << 2) | (x << 1) | b
     }
 
@@ -934,5 +946,52 @@ mod tests {
         );
         roundtrip(&i8, fs);
         roundtrip(&i32, fs);
+    }
+
+    #[test]
+    fn rex_b_covers_register_direct_rm_fallback() {
+        // `Mov r9, r1` puts r1 in the rm field via the src1 fallback; the
+        // REX.b bit must extend that rm register, not silently drop it.
+        // Before the rm_register fix these two encoded byte-identically.
+        let fs = FeatureSet::x86_64();
+        let enc = Encoder::new(fs);
+        let a = MachineInst::compute(MacroOpcode::Mov, r(9), Operand::Reg(r(1)), Operand::None);
+        let b = MachineInst::compute(MacroOpcode::Mov, r(9), Operand::Reg(r(9)), Operand::None);
+        let ea = enc.encode(&a).unwrap();
+        let eb = enc.encode(&b).unwrap();
+        assert_ne!(
+            ea.bytes, eb.bytes,
+            "distinct rm registers must encode differently"
+        );
+        roundtrip(&a, fs);
+        roundtrip(&b, fs);
+    }
+
+    #[test]
+    fn rexbc_base_ext_covers_register_direct_rm_fallback() {
+        // Register-direct rm uses src2 when present; its high (>=32)
+        // register bits live in the REXBC base-extension field.
+        let fs = FeatureSet::superset();
+        let enc = Encoder::new(fs);
+        let a = MachineInst::compute(
+            MacroOpcode::IntAlu,
+            r(1),
+            Operand::Reg(r(2)),
+            Operand::Reg(r(40)),
+        );
+        let b = MachineInst::compute(
+            MacroOpcode::IntAlu,
+            r(1),
+            Operand::Reg(r(2)),
+            Operand::Reg(r(24)),
+        );
+        let ea = enc.encode(&a).unwrap();
+        let eb = enc.encode(&b).unwrap();
+        assert_ne!(
+            ea.bytes, eb.bytes,
+            "distinct rm registers must encode differently"
+        );
+        roundtrip(&a, fs);
+        roundtrip(&b, fs);
     }
 }

@@ -134,7 +134,8 @@ impl MemOperand {
 }
 
 /// Role of the memory operand in a compute instruction (x86 complexity
-/// only — microx86 permits memory operands only on `Load`/`Store`).
+/// only — microx86 permits memory operands only on `Load`/`Store`, plus
+/// `Lea`, which computes an address without accessing memory).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MemRole {
     /// No memory operand.
@@ -315,8 +316,13 @@ impl MachineInst {
     /// referenced register must be available at the feature set's depth.
     pub fn legal_under(&self, fs: &FeatureSet) -> bool {
         if fs.complexity() == Complexity::MicroX86 {
+            // Lea only computes an address, so its memory operand is
+            // legal everywhere; real accesses must be Load/Store.
             let mem_on_compute = self.mem.is_some()
-                && !matches!(self.opcode, MacroOpcode::Load | MacroOpcode::Store);
+                && !matches!(
+                    self.opcode,
+                    MacroOpcode::Load | MacroOpcode::Store | MacroOpcode::Lea
+                );
             if mem_on_compute {
                 return false;
             }
@@ -421,6 +427,18 @@ impl MachineInst {
                 ));
                 uops.push(MicroOp::bare(MicroOpKind::Jump));
             }
+            MacroOpcode::Lea => {
+                // Pure address arithmetic: one ALU uop over the address
+                // registers, no memory micro-op.
+                uops.push(apply_pred(MicroOp::new(
+                    MicroOpKind::IntAlu,
+                    dst,
+                    self.mem.map_or(reg(self.src1), |m| m.base.index()),
+                    self.mem
+                        .and_then(|m| m.index)
+                        .map_or(MicroOp::NO_REG, |r| r.index()),
+                )));
+            }
             _ => match (self.mem, self.mem_role) {
                 (Some(m), MemRole::Src) => {
                     // load tmp <- [mem]; op dst <- dst_src, tmp
@@ -474,7 +492,7 @@ impl MachineInst {
     pub fn uop_count(&self) -> usize {
         match self.opcode {
             MacroOpcode::Call | MacroOpcode::Ret => 2,
-            MacroOpcode::Load | MacroOpcode::Store => 1,
+            MacroOpcode::Load | MacroOpcode::Store | MacroOpcode::Lea => 1,
             _ => match self.mem_role {
                 MemRole::None => 1,
                 MemRole::Src => 2,
@@ -486,7 +504,8 @@ impl MachineInst {
     /// Whether the instruction performs any memory access (directly or
     /// through its expansion).
     pub fn touches_memory(&self) -> bool {
-        self.mem.is_some() || matches!(self.opcode, MacroOpcode::Call | MacroOpcode::Ret)
+        (self.mem.is_some() && self.opcode != MacroOpcode::Lea)
+            || matches!(self.opcode, MacroOpcode::Call | MacroOpcode::Ret)
     }
 }
 
@@ -656,6 +675,34 @@ mod tests {
         for i in insts {
             assert_eq!(i.uop_count(), i.micro_ops().len(), "{i}");
         }
+    }
+
+    #[test]
+    fn lea_is_pure_address_arithmetic() {
+        // Regression: Lea is documented as "address computation without a
+        // memory access", but its metadata used to treat the address
+        // operand as a real access (illegal under microx86, Load uop,
+        // touches_memory). All three views must agree it is a single ALU
+        // op that never touches memory.
+        let lea = MachineInst {
+            opcode: MacroOpcode::Lea,
+            dst: Some(r(1)),
+            src1: Operand::None,
+            src2: Operand::None,
+            mem: Some(MemOperand::base_index(r(2), r(3), 1, MemLocality::Stream)),
+            mem_role: MemRole::Src,
+            wide: false,
+            predicate: None,
+        };
+        assert!(lea.legal_under(&FeatureSet::minimal()), "legal on microx86");
+        assert!(!lea.touches_memory());
+        let uops = lea.micro_ops();
+        assert_eq!(uops.len(), 1);
+        assert_eq!(uops[0].kind, MicroOpKind::IntAlu);
+        assert_eq!(lea.uop_count(), uops.len());
+        // The address registers are still architectural inputs.
+        let regs: Vec<_> = lea.registers().map(|x| x.index()).collect();
+        assert_eq!(regs, vec![1, 2, 3]);
     }
 
     #[test]

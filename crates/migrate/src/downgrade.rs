@@ -16,14 +16,17 @@
 //!   double-pumped, with fat pointers kept in xmm registers
 //!   (long-mode emulation);
 //! - **predication downgrade**: predicated instruction runs are
-//!   reverse-if-converted back to explicit branches.
+//!   reverse-if-converted back to explicit branches;
+//! - **SIMD downgrade**: vector ALU ops are rewritten 1:1 to scalar FP
+//!   ops (the trace model restores the per-lane iteration count once
+//!   the block loses its `vectorized` flag).
 //!
 //! [`emulate`] applies the transformations; [`downgrade_cost`] measures
 //! the resulting slowdown with the cycle simulator.
 
 use cisa_compiler::{compile, CompileOptions, CompiledBlock, CompiledCode};
 use cisa_isa::inst::{MachineInst, MacroOpcode, MemLocality, MemOperand, MemRole, Operand};
-use cisa_isa::{ArchReg, FeatureSet};
+use cisa_isa::{ArchReg, FeatureSet, SimdSupport};
 use cisa_sim::{simulate, CoreConfig};
 use cisa_workloads::{generate, PhaseSpec, TraceGenerator, TraceParams};
 
@@ -40,6 +43,8 @@ pub struct EmulationStats {
     pub double_pumped: u64,
     /// Predicated runs converted back to branches.
     pub reverse_if_conversions: u64,
+    /// Vector ALU ops rewritten to scalar FP ops (SIMD gap).
+    pub scalarized_vec_ops: u64,
 }
 
 /// The register context block lives at a fixed hot stack-adjacent
@@ -114,6 +119,7 @@ pub fn emulate(
     let narrow = target.width() < code.fs.width();
     let micro = target.complexity() < code.fs.complexity();
     let strip_pred = target.predication() < code.fs.predication();
+    let scalarize = code.fs.simd() == SimdSupport::Sse && target.simd() != SimdSupport::Sse;
 
     let mut blocks = Vec::with_capacity(code.blocks.len());
     for (bi, b) in code.blocks.iter().enumerate() {
@@ -137,6 +143,16 @@ pub fn emulate(
                 } else {
                     prev_pred = None;
                 }
+            }
+
+            // SIMD downgrade: rewrite vector ALU ops to scalar FP ops
+            // 1:1. The trace generator already re-scales iteration
+            // counts when a block loses its `vectorized` flag (each
+            // iteration covers one lane instead of four), so one scalar
+            // op per vector op keeps the dynamic work model consistent.
+            if scalarize && inst.opcode == MacroOpcode::VecAlu {
+                inst.opcode = MacroOpcode::FpAlu;
+                stats.scalarized_vec_ops += 1;
             }
 
             // Register-depth downgrade through the RCB.
@@ -174,6 +190,19 @@ pub fn emulate(
                     &mut stats,
                     &mut scratch_idx,
                 ));
+            }
+            // A surviving predicate guard (target keeps full
+            // predication, only the depth shrank) is a register use
+            // like any other and must fit the target depth.
+            if let Some(p) = &mut inst.predicate {
+                p.reg = remap_reg(
+                    p.reg,
+                    depth,
+                    &mut insts,
+                    false,
+                    &mut stats,
+                    &mut scratch_idx,
+                );
             }
             let mut mem = inst.mem;
             if let Some(m) = &mut mem {
@@ -447,6 +476,61 @@ mod tests {
         let target: FeatureSet = "microx86-32D-32W".parse().unwrap();
         let (_, stats) = emulate(&code, &target).unwrap();
         assert!(stats.double_pumped > 0, "mcf has wide data");
+    }
+
+    #[test]
+    fn simd_downgrade_scalarizes_vector_ops() {
+        let code = compile(
+            &generate(&spec("lbm")),
+            &"x86-32D-32W".parse().unwrap(),
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        let has_vec = code
+            .blocks
+            .iter()
+            .any(|b| b.insts.iter().any(|i| i.opcode == MacroOpcode::VecAlu));
+        assert!(has_vec, "lbm vectorizes under SSE");
+        let target: FeatureSet = "microx86-32D-32W".parse().unwrap();
+        let (out, stats) = emulate(&code, &target).unwrap();
+        assert!(stats.scalarized_vec_ops > 0, "vector ops must be rewritten");
+        for b in &out.blocks {
+            assert!(!b.vectorized, "no block may stay vectorized");
+            for i in &b.insts {
+                assert!(
+                    i.legal_under(&target),
+                    "illegal instruction after SIMD downgrade: {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depth_downgrade_remaps_predicate_guards() {
+        // A depth downgrade that keeps full predication must remap
+        // guard registers beyond the target depth like any other use.
+        let mut code = superset_code("sjeng");
+        let planted = MachineInst::compute(
+            MacroOpcode::IntAlu,
+            ArchReg::gpr(5),
+            Operand::Reg(ArchReg::gpr(6)),
+            Operand::None,
+        )
+        .predicated_on(ArchReg::gpr(40), false);
+        code.blocks[0].insts.push(planted);
+        let target: FeatureSet = "x86-16D-64W-P".parse().unwrap();
+        let (out, stats) = emulate(&code, &target).unwrap();
+        assert!(stats.rcb_accesses > 0);
+        for b in &out.blocks {
+            for i in &b.insts {
+                for r in i.registers() {
+                    assert!(
+                        (r.index() as u32) < 16,
+                        "register {r} beyond target depth survives in {i}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
