@@ -62,6 +62,7 @@ fn energy_breakdown(h: &Harness, cores: &[CoreChoice; 4]) -> [f64; 8] {
             let res = SimResult {
                 cycles: (perf.cycles_per_unit * 1000.0) as u64,
                 activity: act,
+                stalls: Default::default(),
             };
             let e = energy(&cfg, &res);
             for (i, j) in [

@@ -1,0 +1,54 @@
+//! Per-stage observability report for a full performance-table build.
+//!
+//! Builds the 49-phase x 26-feature-set table through the standard
+//! sweep runner (probes go through `results/cache/`, so a warm cache
+//! makes this a cache-hit sweep and a cold one the real build), then
+//! renders everything the `cisa-obs` layer captured: per-stage span
+//! times (probe phases, compile passes), cache hit/miss/store counters,
+//! fault and retry counters, simulator stall attribution, and search
+//! statistics.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p cisa-bench --bin sweep_report          # table
+//! cargo run --release -p cisa-bench --bin sweep_report -- --json
+//! ```
+//!
+//! `--json` prints the snapshot as one deterministic JSON object
+//! (sorted keys; includes wall-clock "ns" fields — strip them with the
+//! library's `to_json(false)` form when diffing across runs).
+
+use std::time::Instant;
+
+use cisa_bench::{obs_report, results_dir};
+use cisa_explore::{DesignSpace, PerfTable, SweepRunner};
+use cisa_workloads::all_phases;
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+
+    cisa_obs::reset();
+    let space = DesignSpace::new();
+    let runner = SweepRunner::from_env(results_dir().join("cache"));
+    let phases = all_phases();
+
+    let started = Instant::now();
+    let (table, report) = PerfTable::build_for_phases_reported(&space, &phases, &runner);
+    let wall = started.elapsed().as_secs_f64();
+    let snap = cisa_obs::snapshot();
+
+    if json {
+        println!("{}", snap.to_json(true));
+        return;
+    }
+    println!(
+        "sweep_report: {} phases x {} designs in {:.1}s on {} thread(s); {}",
+        table.n_phases,
+        space.len(),
+        wall,
+        runner.threads(),
+        report.summary()
+    );
+    print!("{}", obs_report::render(&snap, wall));
+}

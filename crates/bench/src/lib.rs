@@ -114,6 +114,7 @@ pub const SINGLE_THREAD_POWER_BUDGETS: [(&str, Budget); 4] = [
     ("Unlimited", Budget::Unlimited),
 ];
 
+pub mod obs_report;
 pub mod timing;
 
 /// Prints a markdown-ish table row.

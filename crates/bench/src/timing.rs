@@ -28,7 +28,7 @@ pub fn bench<F: FnMut()>(name: &str, mut f: F) -> Sample {
     bench_config(name, Duration::from_millis(300), 12, &mut f)
 }
 
-/// [`bench`] with explicit target sample duration and sample count.
+/// [`bench()`] with explicit target sample duration and sample count.
 pub fn bench_config<F: FnMut()>(name: &str, target: Duration, samples: usize, f: &mut F) -> Sample {
     // Warm-up + calibration: find an iteration count that fills the
     // target duration.

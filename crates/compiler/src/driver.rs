@@ -93,18 +93,28 @@ pub fn compile(
     fs: &FeatureSet,
     options: &CompileOptions,
 ) -> Result<CompiledCode, CompileError> {
-    func.validate().map_err(CompileError::InvalidIr)?;
+    let _compile = cisa_obs::span("compile");
+    cisa_obs::counter("compile/functions", 1);
+    {
+        let _s = cisa_obs::span("validate");
+        func.validate().map_err(CompileError::InvalidIr)?;
+    }
 
     let checked = options.verify.enabled();
     let mut violations = Vec::new();
     if checked {
+        let _s = cisa_obs::span("verify");
         violations.extend(verify::verify_ir(func));
     }
 
     let mut ir = func.clone();
     let ifc_stats = if fs.predication() == Predication::Full {
-        let stats = if_convert(&mut ir, &options.ifconvert);
+        let stats = {
+            let _s = cisa_obs::span("ifconvert");
+            if_convert(&mut ir, &options.ifconvert)
+        };
         if checked {
+            let _s = cisa_obs::span("verify");
             violations.extend(verify::verify_ir(&ir));
             violations.extend(verify::verify_predication(&ir, fs));
         }
@@ -112,13 +122,22 @@ pub fn compile(
     } else {
         IfConvertStats::default()
     };
+    cisa_obs::counter("compile/ifconverted_diamonds", u64::from(ifc_stats.total()));
 
-    let vfunc = select(&ir, fs);
+    let vfunc = {
+        let _s = cisa_obs::span("isel");
+        select(&ir, fs)
+    };
     if checked {
+        let _s = cisa_obs::span("verify");
         violations.extend(verify::verify_isel(&vfunc, fs));
     }
-    let alloc = allocate(&vfunc, fs);
+    let alloc = {
+        let _s = cisa_obs::span("regalloc");
+        allocate(&vfunc, fs)
+    };
     if checked {
+        let _s = cisa_obs::span("verify");
         violations.extend(verify::verify_regalloc(&alloc, fs));
     }
     let regalloc_stats = alloc.stats;
@@ -129,8 +148,16 @@ pub fn compile(
         .map(|b| (b.insts, b.term, b.weight, b.vectorized))
         .collect();
 
-    let code = finalize(func.name.clone(), *fs, blocks, regalloc_stats, ifc_stats);
+    let code = {
+        let _s = cisa_obs::span("emit");
+        finalize(func.name.clone(), *fs, blocks, regalloc_stats, ifc_stats)
+    };
+    cisa_obs::counter(
+        "compile/vectorized_blocks",
+        code.blocks.iter().filter(|b| b.vectorized).count() as u64,
+    );
     if checked {
+        let _s = cisa_obs::span("verify");
         violations.extend(verify::verify_encoding(&code));
     }
     if !violations.is_empty() {

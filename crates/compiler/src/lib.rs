@@ -19,6 +19,8 @@
 //! The entry point is [`compile`]; [`compile_all_feature_sets`] produces
 //! the 26 variants the design-space exploration consumes.
 
+#![warn(missing_docs)]
+
 pub mod cfg;
 pub mod code;
 pub mod driver;

@@ -120,13 +120,18 @@ impl ProfileCache {
         let path = self.path_for(Self::key(spec, fs));
         let res = self.read_file(&path);
         match res {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                cisa_obs::counter("cache/hit", 1);
+                self.hits.fetch_add(1, Ordering::Relaxed)
+            }
             None => {
                 // A missing file is a plain miss; an unreadable one is
                 // garbage — evict it so the next store starts clean.
                 if path.exists() {
+                    cisa_obs::counter("cache/torn_evict", 1);
                     let _ = std::fs::remove_file(&path);
                 }
+                cisa_obs::counter("cache/miss", 1);
                 self.misses.fetch_add(1, Ordering::Relaxed)
             }
         };
@@ -183,6 +188,7 @@ impl ProfileCache {
             .and_then(|mut f| f.write_all(&bytes))
             .and_then(|()| std::fs::rename(&tmp, &path));
         if ok.is_ok() {
+            cisa_obs::counter("cache/store", 1);
             self.stores.fetch_add(1, Ordering::Relaxed);
         } else {
             let _ = std::fs::remove_file(&tmp);

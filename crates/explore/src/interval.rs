@@ -244,6 +244,7 @@ pub fn evaluate(p: &PhaseProfile, ua: &MicroArch, cfg: &CoreConfig) -> PhasePerf
     let result = SimResult {
         cycles: (cycles_per_unit * 1000.0).round().max(1.0) as u64,
         activity,
+        stalls: Default::default(),
     };
     let report = energy(cfg, &result);
     PhasePerf {

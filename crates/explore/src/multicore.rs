@@ -543,6 +543,8 @@ pub fn search_with_seeds(
     config: &SearchConfig,
     warm_starts: &[[CoreChoice; 4]],
 ) -> Option<SearchResult> {
+    let _search = cisa_obs::span("search");
+    cisa_obs::counter("search/runs", 1);
     // Individually infeasible candidates can never appear: a core must
     // leave room for three of the cheapest cores.
     let min_power = candidates
@@ -654,6 +656,7 @@ pub fn search_with_seeds(
     // Identical mode is exact by construction: one pass over the pool
     // scores every homogeneous chip.
     if config.identical {
+        cisa_obs::counter("search/exhaustive_chips", pool.len() as u64);
         let mut best: Option<SearchResult> = None;
         for c in &pool {
             let chip = [*c; 4];
@@ -674,6 +677,10 @@ pub fn search_with_seeds(
     // quality is not a concern here.
     let n = pool.len();
     if n * (n + 1) * (n + 2) * (n + 3) / 24 <= 20_000 {
+        cisa_obs::counter(
+            "search/exhaustive_chips",
+            (n * (n + 1) * (n + 2) * (n + 3) / 24) as u64,
+        );
         let firsts: Vec<usize> = (0..n).collect();
         let per_first = par_map(&firsts, threads(), |&a| {
             let mut local: Option<SearchResult> = None;
@@ -756,6 +763,7 @@ pub fn search_with_seeds(
 
     let climb = |cores: &mut [CoreChoice; 4], cur: &mut f64| {
         for _ in 0..config.max_passes {
+            cisa_obs::counter("search/climb_passes", 1);
             let mut improved = false;
             for slot in 0..4 {
                 let mut best_slot = cores[slot];
@@ -785,6 +793,7 @@ pub fn search_with_seeds(
     /// each round re-climbs from a 2-slot random kick).
     const ILS_KICKS: usize = 6;
 
+    cisa_obs::counter("search/starts", starts.len() as u64);
     let results = par_map(&starts, threads(), |start| {
         let (mut cores, mut rng) = match start {
             Start::Cheapest => ([cheapest; 4], SmallRng::seed_from_u64(0xD5E)),
@@ -821,6 +830,7 @@ pub fn search_with_seeds(
             if !eval.feasible(&trial, budget, objective) {
                 continue;
             }
+            cisa_obs::counter("search/kicks", 1);
             let mut trial_score = score_of(&trial);
             climb(&mut trial, &mut trial_score);
             if trial_score > cur {

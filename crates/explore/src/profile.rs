@@ -235,19 +235,19 @@ const FWD_WINDOW: usize = 64;
 /// address to the index of the last store that wrote it — growing
 /// without bound over the trace (every distinct line stays resident
 /// forever). A load only forwards when that store is within the last
-/// [`FWD_WINDOW`] micro-ops, and the window bounds how much history
-/// can matter: this table keeps just the [`FWD_WINDOW`] most recent
+/// `FWD_WINDOW` micro-ops, and the window bounds how much history
+/// can matter: this table keeps just the `FWD_WINDOW` most recent
 /// stores, direct-mapped on store *sequence number*, and scans
 /// newest-to-oldest for the line.
 ///
 /// The replacement is exactly equivalent to the unbounded map, not an
 /// approximation. If the most recent store to a line has been
-/// displaced, at least [`FWD_WINDOW`] later stores exist, each at a
+/// displaced, at least `FWD_WINDOW` later stores exist, each at a
 /// distinct micro-op index strictly between that store's index `j` and
 /// the querying load's index `i`, so `i - j > FWD_WINDOW` and the
 /// window check `i - j < FWD_WINDOW` would have rejected the forward
 /// anyway. Conversely, a store passing the window check has fewer than
-/// [`FWD_WINDOW`] micro-ops (hence fewer than [`FWD_WINDOW`] stores)
+/// `FWD_WINDOW` micro-ops (hence fewer than `FWD_WINDOW` stores)
 /// after it and is still resident, and the newest-to-oldest scan
 /// returns the most recent store to the line — the map's last-writer
 /// entry.
@@ -396,14 +396,21 @@ pub fn probe(spec: &PhaseSpec, fs: FeatureSet) -> PhaseProfile {
 /// [`probe_compiled_reference`], which is kept as the executable
 /// specification and asserted equal in tests.
 pub fn probe_compiled(spec: &PhaseSpec, code: &CompiledCode) -> PhaseProfile {
+    let _probe = cisa_obs::span("probe");
+    cisa_obs::counter("probe/run", 1);
     PROBES_RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let fs = code.fs;
     let params = TraceParams {
         max_uops: PROBE_UOPS,
         seed: 0xBEEF,
     };
-    let arena = TraceArena::build(code, spec, params);
+    let arena = {
+        let _s = cisa_obs::span("arena");
+        TraceArena::build(code, spec, params)
+    };
+    cisa_obs::hist("probe/trace_uops", arena.len() as u64);
     let n = arena.len().max(1) as f64;
+    let _measure = cisa_obs::span("measure");
 
     let mut mix_counts = [0u64; 8];
     let mut predictors = PredictorKind::ALL.map(|k| (pred_idx(k), k.build()));
@@ -497,15 +504,19 @@ pub fn probe_compiled(spec: &PhaseSpec, code: &CompiledCode) -> PhaseProfile {
     let uopc_hit_rate = supply.stats().uop_cache_hit_rate();
     let l1i_miss_per_uop = [l1i[0].misses as f64 / n, l1i[1].misses as f64 / n];
 
+    drop(_measure);
     // Calibration simulations replay the arena (bit-identical to fresh
     // trace generation; asserted in cisa-sim's tests) and share the
     // captured decode-supply stream instead of re-walking the micro-op
     // cache per core.
-    let sims = simulate_shared_frontend(
-        &[reference_ooo(fs), reference_ooo_large(fs), reference_io(fs)],
-        &arena,
-        &supply,
-    );
+    let sims = {
+        let _s = cisa_obs::span("calibrate");
+        simulate_shared_frontend(
+            &[reference_ooo(fs), reference_ooo_large(fs), reference_io(fs)],
+            &arena,
+            &supply,
+        )
+    };
     let ref_ooo_cpu = sims[0].cycles as f64 / n;
     let ref_ooo_large_cpu = sims[1].cycles as f64 / n;
     let ref_io_cpu = sims[2].cycles as f64 / n;
@@ -529,7 +540,10 @@ pub fn probe_compiled(spec: &PhaseSpec, code: &CompiledCode) -> PhaseProfile {
         ref_ooo_large_cpu,
         ref_io_cpu,
     };
-    crate::interval::fit(&mut profile);
+    {
+        let _s = cisa_obs::span("fit");
+        crate::interval::fit(&mut profile);
+    }
     profile
 }
 

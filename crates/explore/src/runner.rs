@@ -146,7 +146,15 @@ where
 {
     let mut attempt = 0u32;
     loop {
-        let caught = catch_unwind(AssertUnwindSafe(|| f(item, index, attempt)));
+        // Root span: the item records under `sweep/item` whether it runs
+        // inline on the caller's thread (serial path) or on a worker, so
+        // span paths — and snapshot call counts — are identical at any
+        // `CISA_THREADS`. Unwinding drops the guard, keeping the stack
+        // consistent across caught panics.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _item = cisa_obs::root_span("sweep/item");
+            f(item, index, attempt)
+        }));
         let err = match caught {
             Ok(Ok(v)) => return (attempt + 1, Ok(v)),
             Ok(Err(msg)) => msg,
@@ -234,14 +242,18 @@ where
         attempted: n,
         ..SweepReport::default()
     };
+    cisa_obs::counter("sweep/items", n as u64);
     let mut out = Vec::with_capacity(n);
     for (index, attempts, r) in results {
+        cisa_obs::hist("sweep/attempts", u64::from(attempts));
         if attempts > 1 {
             report.retried += 1;
+            cisa_obs::counter("sweep/retried", 1);
         }
         match r {
             Ok(v) => out.push(Some(v)),
             Err(message) => {
+                cisa_obs::counter("sweep/failed", 1);
                 report.failed.push(ItemError {
                     index,
                     attempts,
@@ -456,6 +468,7 @@ impl SweepRunner {
         });
         if !ran {
             self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            cisa_obs::counter("probe/dedup_hit", 1);
         }
         if let Some(cache) = &self.cache {
             cache.store(spec, fs, &p);
@@ -480,6 +493,7 @@ impl SweepRunner {
             return Ok(self.probe(spec, fs));
         };
         if plan.should_panic(index, attempt) {
+            cisa_obs::counter("fault/panic", 1);
             panic!(
                 "injected fault: worker panic (item {index}, attempt {attempt}, seed {:#x})",
                 plan.seed()
@@ -489,11 +503,13 @@ impl SweepRunner {
         let profile = self.probe(spec, fs);
         if let Some(cache) = &self.cache {
             if let Some(keep) = plan.tear_cache_entry(index, ProfileCache::ENTRY_BYTES) {
+                cisa_obs::counter("fault/cache_torn", 1);
                 cache.tear_entry(spec, fs, keep);
             }
         }
         let mut values = profile.to_values();
         if let Some(fault) = plan.poison_record(index, &mut values) {
+            cisa_obs::counter("fault/record_poison", 1);
             return Err(format!(
                 "injected fault: {fault} in profile record for {} on {fs}",
                 spec.name()
@@ -530,6 +546,7 @@ impl SweepRunner {
         let Some(fault) = plan.corrupt_stream(index, &mut stream) else {
             return Ok(());
         };
+        cisa_obs::counter("fault/stream", 1);
         let outcome = match InstLengthDecoder::new().decode_stream(&stream) {
             Err(e) => format!("decoder reported: {e}"),
             // A flipped immediate bit can decode structurally clean;
@@ -590,9 +607,11 @@ impl SweepRunner {
             .into_iter()
             .flatten()
             .collect();
+        cisa_obs::counter("preflight/compiles", pairs.len() as u64);
         if violations.is_empty() {
             Ok(pairs.len())
         } else {
+            cisa_obs::counter("preflight/violations", violations.len() as u64);
             Err(violations)
         }
     }

@@ -5,7 +5,7 @@
 //! bytes), the decode engine (which expands them into micro-ops) and the
 //! pipeline models. The macro-op to micro-op expansion rules here are the
 //! heart of the microx86-vs-x86 complexity axis: under
-//! [`Complexity::MicroX86`](crate::Complexity::MicroX86) every legal
+//! [`Complexity::MicroX86`](crate::Complexity) every legal
 //! instruction expands to exactly one micro-op.
 
 use std::fmt;

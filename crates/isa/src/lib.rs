@@ -38,6 +38,8 @@
 //! assert_eq!(thumb_like.to_string(), "microx86-8D-32W");
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod disasm;
 pub mod encoding;
 pub mod error;

@@ -9,7 +9,7 @@
 //! extension).
 //!
 //! This module models that alternative host: the same
-//! [`FeatureSet`](crate::FeatureSet) lattice carried by a fixed-length
+//! [`FeatureSet`] lattice carried by a fixed-length
 //! 4-byte encoding (with an RVC-style 2-byte compressed subset), and the
 //! decode-side consequences — no instruction-length decoder, one-step
 //! decoding, but wider code for the same instruction count.

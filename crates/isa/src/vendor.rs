@@ -100,7 +100,7 @@ impl VendorIsa {
     }
 
     /// Traits of the vendor ISA that its x86-ized equivalent *cannot*
-    /// replicate (Table II's "<vendor>-specific features"). These are
+    /// replicate (Table II's "`<vendor>`-specific features"). These are
     /// the residual advantages the vendor-ISA baseline keeps.
     pub fn unreplicated_traits(self) -> &'static [&'static str] {
         match self {

@@ -9,6 +9,8 @@
 //! The simulator produces [`SimResult`]s whose [`Activity`] counters
 //! feed the McPAT-style power model in `cisa-power`.
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod config;
 pub mod pipeline;
@@ -18,6 +20,6 @@ pub use cache::{Cache, Hierarchy, MemLatency, StreamPrefetcher};
 pub use config::{CoreConfig, ExecSemantics, WindowConfig};
 pub use pipeline::{
     simulate, simulate_arena, simulate_shared_frontend, simulate_with_prefetcher, Activity,
-    SimResult, SupplyTrace,
+    SimResult, StallBreakdown, SupplyTrace,
 };
 pub use predictor::{BranchPredictor, Gshare, PredictorKind, Tournament, TwoLevelLocal};
