@@ -18,15 +18,99 @@
 //! `--json` prints the snapshot as one deterministic JSON object
 //! (sorted keys; includes wall-clock "ns" fields — strip them with the
 //! library's `to_json(false)` form when diffing across runs).
+//!
+//! `--serve-smoke` additionally spins the affinity server up over the
+//! freshly built table, issues a short loopback request burst, and
+//! tears it down before the snapshot is taken — so the report (and the
+//! `--json` output) includes the `serve/latency_ns` request-latency
+//! histogram and the `serve/*` counters next to the sweep's own
+//! metrics.
 
+use std::io::{Read, Write};
+use std::sync::Arc;
 use std::time::Instant;
 
 use cisa_bench::{obs_report, results_dir};
-use cisa_explore::{DesignSpace, PerfTable, SweepRunner};
+use cisa_explore::{DesignSpace, PerfTable, ShardedProfileStore, SweepRunner};
 use cisa_workloads::all_phases;
+
+/// Requests the `--serve-smoke` burst issues.
+const SMOKE_REQUESTS: usize = 200;
+
+/// Serves a short loopback burst so `serve/*` metrics land in the
+/// snapshot.
+fn serve_smoke(space: DesignSpace, table: &PerfTable) {
+    let phases = all_phases();
+    let state = Arc::new(cisa_serve::ServerState::from_table(
+        space,
+        table,
+        phases.clone(),
+        ShardedProfileStore::new(None),
+        cisa_serve::ServeConfig::default(),
+    ));
+    let server = cisa_serve::Server::start("127.0.0.1:0", state).expect("bind loopback");
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    let mut buf = Vec::new();
+    for i in 0..SMOKE_REQUESTS {
+        let body = format!(
+            r#"{{"phase":"{}","top":3}}"#,
+            phases[i % phases.len()].name()
+        );
+        let head = format!(
+            "POST /v1/affinity HTTP/1.1\r\nHost: smoke\r\nContent-Length: {}\r\n{}\r\n",
+            body.len(),
+            if i + 1 == SMOKE_REQUESTS {
+                "Connection: close\r\n"
+            } else {
+                ""
+            },
+        );
+        stream.write_all(head.as_bytes()).expect("write");
+        stream.write_all(body.as_bytes()).expect("write");
+        if i + 1 == SMOKE_REQUESTS {
+            buf.clear();
+            stream.read_to_end(&mut buf).expect("drain");
+        } else {
+            // Keep-alive: read this response's framed body before the
+            // next request (closed loop, one request in flight).
+            read_one_response(&mut stream);
+        }
+    }
+}
+
+/// Reads one `Content-Length`-framed response off a keep-alive stream.
+fn read_one_response(stream: &mut std::net::TcpStream) {
+    let mut data = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 8192];
+    let (head_end, content_length) = loop {
+        let n = stream.read(&mut chunk).expect("read");
+        assert!(n > 0, "server closed early");
+        data.extend_from_slice(&chunk[..n]);
+        if let Some(pos) = data.windows(4).position(|w| w == b"\r\n\r\n") {
+            let cl = std::str::from_utf8(&data[..pos])
+                .ok()
+                .and_then(|h| {
+                    h.lines().find_map(|l| {
+                        l.to_ascii_lowercase()
+                            .strip_prefix("content-length:")
+                            .map(|v| v.trim().to_string())
+                    })
+                })
+                .and_then(|v| v.parse::<usize>().ok())
+                .expect("content-length");
+            break (pos + 4, cl);
+        }
+    };
+    while data.len() < head_end + content_length {
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "server closed mid-body");
+        data.extend_from_slice(&chunk[..n]);
+    }
+}
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
+    let smoke = std::env::args().any(|a| a == "--serve-smoke");
 
     cisa_obs::reset();
     let space = DesignSpace::new();
@@ -35,6 +119,9 @@ fn main() {
 
     let started = Instant::now();
     let (table, report) = PerfTable::build_for_phases_reported(&space, &phases, &runner);
+    if smoke {
+        serve_smoke(DesignSpace::new(), &table);
+    }
     let wall = started.elapsed().as_secs_f64();
     let snap = cisa_obs::snapshot();
 

@@ -17,6 +17,8 @@
 //!   peak power / +0.46% area; microx86-32 decoder -0.66% / -1.12%; ILD
 //!   +0.87% / +0.65%).
 
+#![warn(missing_docs)]
+
 pub mod engine;
 pub mod rtl;
 

@@ -21,6 +21,7 @@
 //! | [`systems`] | The paper's five system organizations + sensitivity study |
 //! | [`runner`] | Parallel sweep execution, panic isolation, thread-pool sizing |
 //! | [`cache`] | Content-addressed on-disk cache of probe results |
+//! | [`store`] | Sharded in-memory LRU tier over the cache (serving reads) |
 //! | [`faults`] | Deterministic, seed-replayable fault injection |
 //!
 //! The expensive half is probing; [`runner::SweepRunner`] parallelizes
@@ -37,6 +38,7 @@ pub mod multicore;
 pub mod profile;
 pub mod runner;
 pub mod space;
+pub mod store;
 pub mod systems;
 pub mod table;
 
@@ -53,6 +55,7 @@ pub use profile::{
 };
 pub use runner::{par_map, par_map_isolated, threads, ItemError, SweepReport, SweepRunner};
 pub use space::{all_microarchs, DesignId, DesignSpace, MicroArch};
+pub use store::{ShardedLru, ShardedProfileStore, StoreStats};
 pub use systems::{
     candidates, constrained_candidates, search_system, sensitivity_constraints, SystemKind,
 };

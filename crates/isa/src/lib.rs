@@ -54,8 +54,8 @@ pub use disasm::{disassemble, disassemble_stream, Disassembled};
 pub use encoding::{DecodeError, EncodeError, EncodedInst, Encoder, InstLengthDecoder};
 pub use error::{IsaError, StreamError};
 pub use feature_set::{
-    Complexity, FeatureConstraint, FeatureSet, Predication, RegisterDepth, RegisterWidth,
-    SimdSupport, ViabilityError,
+    Complexity, DowngradeGap, FeatureConstraint, FeatureSet, Predication, RegisterDepth,
+    RegisterWidth, SimdSupport, ViabilityError,
 };
 pub use inst::{AddressingMode, MachineInst, MacroOpcode, MemLocality, Operand};
 pub use regs::{ArchReg, RegClass, SubRegister};

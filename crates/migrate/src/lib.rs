@@ -11,10 +11,19 @@
 //! downgrade costs charged, reproducing the paper's Section VII-D
 //! analysis (1,863 migrations, 0.42% average degradation).
 
+//! [`classes`] classifies prospective migrations into the cost taxonomy
+//! of the heterogeneous-ISA migration-measurement literature
+//! (state-transformation-free vs. transforming), cheap enough to
+//! annotate every alternative in a serving-layer query answer.
+
+#![warn(missing_docs)]
+
+pub mod classes;
 pub mod downgrade;
 pub mod error;
 pub mod migration;
 
+pub use classes::{classify_migration, MigrationClass, MigrationCost};
 pub use downgrade::{downgrade_cost, emulate, EmulationStats};
 pub use error::MigrateError;
 pub use migration::{MigrationConfig, MigrationReport, MigrationSim};

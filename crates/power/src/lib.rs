@@ -8,6 +8,8 @@
 //! observations (SSE ~7.4% power / ~17.3% area; register width up to
 //! ~6.4% power).
 
+#![warn(missing_docs)]
+
 pub mod energy;
 pub mod model;
 

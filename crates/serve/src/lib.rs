@@ -1,0 +1,55 @@
+//! Affinity-as-a-service: an HTTP query engine over the
+//! composite-ISA design space.
+//!
+//! This crate turns the batch exploration pipeline into an online
+//! service. A zero-dependency HTTP/1.1 server answers the question the
+//! paper's scheduler keeps asking — *"which feature set should this
+//! phase run on, under this power/area budget?"* — from a pre-built
+//! [`PerfTable`](cisa_explore::PerfTable), and refines fingerprints
+//! the table has never seen through the fused probe path, online,
+//! without ever blocking the serving threads on a poisoned request.
+//!
+//! # Endpoints
+//!
+//! | Route | Method | Answer |
+//! |---|---|---|
+//! | `/v1/affinity` | POST | ranked feature sets for a phase under a budget |
+//! | `/v1/designs` | GET | filtered slices of the 4,680-design table |
+//! | `/v1/metrics` | GET | the `cisa-obs` registry snapshot as JSON |
+//! | `/healthz` | GET | liveness + table shape |
+//!
+//! `SERVICE.md` at the repo root is the full wire-format reference.
+//!
+//! # Module map
+//!
+//! | Module | Job |
+//! |---|---|
+//! | [`json`] | strict JSON parser + deterministic writer (bit-exact `f64` round trips) |
+//! | [`http`] | request framing over `std::net` with head/body caps |
+//! | [`state`] | design space, pinned rows, row LRU, online refinement pool |
+//! | [`api`] | routing, request decoding, ranking, response rendering |
+//! | [`server`] | acceptor + worker pool, keep-alive, metrics, shutdown |
+//!
+//! # Answer tiers
+//!
+//! A `POST /v1/affinity` resolves through three tiers, cheapest first:
+//! pinned rows copied from the batch table at startup (bit-identical
+//! to the batch pipeline by construction), a sharded LRU of rows
+//! refined earlier, and finally online refinement — probe all feature
+//! sets on a bounded, panic-isolated pool, persist the profiles in a
+//! two-tier [`ShardedProfileStore`](cisa_explore::ShardedProfileStore),
+//! and evaluate the full row. The response's `source` field reports
+//! which tier answered.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod state;
+
+pub use api::handle;
+pub use server::Server;
+pub use state::{AffinityRow, RowError, RowSource, ServeConfig, ServerState};

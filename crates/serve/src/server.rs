@@ -1,0 +1,202 @@
+//! The transport loop: accept, keep-alive, worker pool, per-request
+//! metrics, graceful shutdown.
+//!
+//! One acceptor thread feeds connections to `config.workers` worker
+//! threads over a channel; each worker owns one connection at a time
+//! and serves its keep-alive request sequence to completion. Request
+//! handling itself never panics the worker: handler panics are
+//! confined to the refinement pool ([`crate::state`]), and transport
+//! errors just close the connection.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::api;
+use crate::http::{read_request, write_response, RecvError};
+use crate::state::ServerState;
+
+/// A running affinity server.
+///
+/// Dropping the handle (or calling [`Server::shutdown`]) stops the
+/// acceptor, drains the workers, and joins every thread.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `state` in background threads.
+    pub fn start(addr: &str, state: Arc<ServerState>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let requests = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut threads = Vec::new();
+        for i in 0..state.config.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            let requests = Arc::clone(&requests);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || loop {
+                        let conn = {
+                            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.recv()
+                        };
+                        match conn {
+                            Ok(stream) => serve_connection(stream, &state, &requests),
+                            Err(_) => return, // acceptor gone: shutdown
+                        }
+                    })
+                    .expect("spawning a worker thread"),
+            );
+        }
+
+        let acceptor_stop = Arc::clone(&stop);
+        let idle = state.config.idle_timeout;
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-acceptor".to_string())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if acceptor_stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        // A read timeout bounds how long an idle
+                        // keep-alive connection pins a worker.
+                        let _ = stream.set_read_timeout(Some(idle));
+                        let _ = stream.set_nodelay(true);
+                        if tx.send(stream).is_err() {
+                            return;
+                        }
+                    }
+                })
+                .expect("spawning the acceptor thread"),
+        );
+
+        Ok(Server {
+            addr: local,
+            stop,
+            requests,
+            threads,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, drains in-flight connections, joins all
+    /// threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The acceptor blocks in accept(); poke it with a connection
+        // so it observes the stop flag. Dropping it drops `tx`, which
+        // in turn stops the workers.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Sends a terminal error response, then drains what the client is
+/// still sending (bounded) so the close is a clean FIN rather than an
+/// RST that could destroy the response in flight.
+fn reject(stream: &mut TcpStream, status: u16, code: &str, message: &str) {
+    let (status, body) = api::error_response(status, code, message);
+    let _ = write_response(stream, status, &body, true);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut buf = [0u8; 4096];
+    let mut budget: usize = 1 << 20;
+    while budget > 0 {
+        match std::io::Read::read(stream, &mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget -= n.min(budget),
+        }
+    }
+}
+
+/// Serves one connection's keep-alive request sequence.
+fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>, requests: &Arc<AtomicU64>) {
+    loop {
+        let started = Instant::now();
+        let req = match read_request(&mut stream) {
+            Ok(r) => r,
+            Err(RecvError::Closed) => return,
+            Err(RecvError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle keep-alive timeout: tell pipelined clients why.
+                let (status, body) =
+                    api::error_response(408, "request_timeout", "idle connection timed out");
+                let _ = write_response(&mut stream, status, &body, true);
+                return;
+            }
+            Err(RecvError::Io(_)) => return,
+            Err(RecvError::HeadTooLarge) => {
+                reject(
+                    &mut stream,
+                    413,
+                    "head_too_large",
+                    "request head exceeds 16 KiB",
+                );
+                return;
+            }
+            Err(RecvError::BodyTooLarge) => {
+                reject(
+                    &mut stream,
+                    413,
+                    "body_too_large",
+                    "request body exceeds 64 KiB",
+                );
+                return;
+            }
+            Err(RecvError::Malformed(why)) => {
+                reject(&mut stream, 400, "malformed_request", why);
+                return;
+            }
+        };
+
+        let _span = cisa_obs::root_span("serve/request");
+        cisa_obs::counter("serve/request", 1);
+        cisa_obs::hist("serve/body_bytes", req.body.len() as u64);
+        let (status, body) = api::handle(state, &req);
+        cisa_obs::counter(&format!("serve/status/{status}"), 1);
+        let latency = started.elapsed().as_nanos() as u64;
+        cisa_obs::hist("serve/latency_ns", latency);
+        requests.fetch_add(1, Ordering::Relaxed);
+
+        let close = req.wants_close();
+        if write_response(&mut stream, status, &body, close).is_err() || close {
+            return;
+        }
+    }
+}

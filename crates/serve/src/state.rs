@@ -1,0 +1,400 @@
+//! Shared server state: the design space, the affinity rows, the
+//! two-tier probe store, and the bounded online-refinement pool.
+//!
+//! A server answers from three tiers, cheapest first:
+//!
+//! 1. **Pinned rows** — affinity rows preloaded from a batch-built
+//!    [`PerfTable`] at startup. Never evicted; answers from this tier
+//!    are bit-identical to the batch pipeline by construction (the
+//!    entries are copied, not recomputed).
+//! 2. **The row LRU** — a [`ShardedLru`] of rows refined online for
+//!    fingerprints the batch table has never seen.
+//! 3. **Online refinement** — the fused probe path, run once per
+//!    (phase, feature set) on a bounded pool with panic isolation
+//!    ([`par_map_isolated`]); probe results persist through a
+//!    [`ShardedProfileStore`], so a re-asked fingerprint — even after
+//!    row eviction or a server restart — refines without re-probing.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use cisa_explore::interval::evaluate;
+use cisa_explore::profile::probe_compiled;
+use cisa_explore::runner::par_map_isolated;
+use cisa_explore::{DesignId, DesignSpace, PerfTable, ShardedLru, ShardedProfileStore};
+use cisa_isa::FeatureSet;
+use cisa_workloads::PhaseSpec;
+
+pub use cisa_explore::interval::PhasePerf;
+
+/// Tuning knobs of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// HTTP worker threads (each owns one connection at a time).
+    pub workers: usize,
+    /// Threads one refinement sweep spreads its probes over.
+    pub refine_threads: usize,
+    /// Refinement sweeps allowed to run concurrently; further requests
+    /// wait (up to their deadline) for a permit.
+    pub max_concurrent_refines: usize,
+    /// Default per-request deadline when the request names none.
+    pub default_deadline: Duration,
+    /// Socket idle timeout for keep-alive connections.
+    pub idle_timeout: Duration,
+    /// Shards in the refined-row LRU.
+    pub row_shards: usize,
+    /// Rows per shard in the refined-row LRU.
+    pub row_capacity_per_shard: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            refine_threads: cisa_explore::threads(),
+            max_concurrent_refines: 2,
+            default_deadline: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(5),
+            row_shards: 8,
+            row_capacity_per_shard: 64,
+        }
+    }
+}
+
+/// One phase's slice of the affinity table: every (feature set,
+/// microarchitecture) performance/energy prediction, row-major
+/// `[fs][ua]` exactly like [`PerfTable`].
+#[derive(Debug)]
+pub struct AffinityRow {
+    /// Phase name (`benchmark.pN`).
+    pub phase: String,
+    /// The full generation fingerprint the row is keyed on.
+    pub fingerprint: String,
+    /// `[fs][ua]` predictions, `n_fs * n_ua` entries.
+    pub perfs: Vec<PhasePerf>,
+}
+
+/// How an affinity answer was produced (reported in responses and
+/// asserted by tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowSource {
+    /// Copied from the batch-built table at startup.
+    Pinned,
+    /// Refined online earlier and still resident in the row LRU.
+    Cached,
+    /// Refined online by this request.
+    Refined,
+}
+
+impl RowSource {
+    /// Stable lowercase name used in JSON responses.
+    pub fn name(self) -> &'static str {
+        match self {
+            RowSource::Pinned => "table",
+            RowSource::Cached => "cached",
+            RowSource::Refined => "refined",
+        }
+    }
+}
+
+/// A counting semaphore bounding concurrent refinement sweeps.
+#[derive(Debug)]
+struct Permits {
+    free: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Permits {
+    fn new(n: usize) -> Self {
+        Permits {
+            free: Mutex::new(n.max(1)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Acquires a permit, waiting at most until `deadline`. Returns
+    /// false on deadline expiry.
+    fn acquire(&self, deadline: Instant) -> bool {
+        let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if *free > 0 {
+                *free -= 1;
+                return true;
+            }
+            let now = Instant::now();
+            let Some(wait) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return false;
+            };
+            let (g, timeout) = self
+                .cv
+                .wait_timeout(free, wait)
+                .unwrap_or_else(|e| e.into_inner());
+            free = g;
+            if timeout.timed_out() && *free == 0 {
+                return false;
+            }
+        }
+    }
+
+    fn release(&self) {
+        let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
+        *free += 1;
+        self.cv.notify_one();
+    }
+}
+
+/// Why an affinity row could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowError {
+    /// The request's deadline expired before the row was ready.
+    DeadlineExceeded,
+    /// Refinement failed (poisoned probes exhausting their retries).
+    RefineFailed(String),
+}
+
+type InflightCell = Arc<OnceLock<Result<Arc<AffinityRow>, RowError>>>;
+
+/// Everything the request handlers share.
+#[derive(Debug)]
+pub struct ServerState {
+    /// The 26 x 180 design space with per-design budgets.
+    pub space: DesignSpace,
+    /// The server's tuning knobs.
+    pub config: ServeConfig,
+    /// Known phases, preloaded as pinned rows.
+    pub phases: Vec<PhaseSpec>,
+    by_name: HashMap<String, usize>,
+    pinned: HashMap<u64, Arc<AffinityRow>>,
+    pinned_by_phase: Vec<Arc<AffinityRow>>,
+    rows: ShardedLru<Arc<AffinityRow>>,
+    store: ShardedProfileStore,
+    inflight: Mutex<HashMap<u64, InflightCell>>,
+    permits: Permits,
+    started: Instant,
+}
+
+/// The row LRU key of a fingerprint string (FNV-1a, same family the
+/// profile cache uses for its content addressing).
+pub fn row_key(fingerprint: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in fingerprint.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl ServerState {
+    /// Builds server state from a batch-built table: one pinned row per
+    /// phase, copied entry-for-entry (bit-identical to `table.get`).
+    ///
+    /// `phases` must be the phase list the table was built for, in
+    /// order.
+    pub fn from_table(
+        space: DesignSpace,
+        table: &PerfTable,
+        phases: Vec<PhaseSpec>,
+        store: ShardedProfileStore,
+        config: ServeConfig,
+    ) -> Self {
+        assert_eq!(table.n_phases, phases.len(), "table/phase list mismatch");
+        let n_ua = space.microarchs.len();
+        let n_fs = space.feature_sets.len();
+        let mut pinned = HashMap::new();
+        let mut pinned_by_phase = Vec::with_capacity(phases.len());
+        let mut by_name = HashMap::new();
+        for (pi, spec) in phases.iter().enumerate() {
+            let mut perfs = Vec::with_capacity(n_fs * n_ua);
+            for fi in 0..n_fs {
+                for ua in 0..n_ua {
+                    perfs.push(table.get(
+                        pi,
+                        DesignId {
+                            fs: fi as u16,
+                            ua: ua as u16,
+                        },
+                    ));
+                }
+            }
+            let fingerprint = spec.fingerprint();
+            let row = Arc::new(AffinityRow {
+                phase: spec.name(),
+                fingerprint: fingerprint.clone(),
+                perfs,
+            });
+            pinned.insert(row_key(&fingerprint), Arc::clone(&row));
+            pinned_by_phase.push(Arc::clone(&row));
+            by_name.insert(spec.name(), pi);
+        }
+        let rows = ShardedLru::new(config.row_shards, config.row_capacity_per_shard);
+        let permits = Permits::new(config.max_concurrent_refines);
+        ServerState {
+            space,
+            config,
+            phases,
+            by_name,
+            pinned,
+            pinned_by_phase,
+            rows,
+            store,
+            inflight: Mutex::new(HashMap::new()),
+            permits,
+            started: Instant::now(),
+        }
+    }
+
+    /// The pinned row of a known phase name, with its phase index.
+    pub fn phase_row(&self, name: &str) -> Option<(usize, Arc<AffinityRow>)> {
+        let pi = *self.by_name.get(name)?;
+        Some((pi, Arc::clone(&self.pinned_by_phase[pi])))
+    }
+
+    /// The known phase spec for `name`.
+    pub fn phase_spec(&self, name: &str) -> Option<&PhaseSpec> {
+        self.by_name.get(name).map(|&pi| &self.phases[pi])
+    }
+
+    /// Rows refined online and still resident.
+    pub fn rows_resident(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The probe store backing refinement.
+    pub fn store(&self) -> &ShardedProfileStore {
+        &self.store
+    }
+
+    /// Seconds since the state was created.
+    pub fn uptime_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Produces the affinity row for `spec`, cheapest tier first:
+    /// pinned table rows, the refined-row LRU, then online refinement
+    /// under `deadline`. Concurrent requests for the same fingerprint
+    /// share one refinement.
+    pub fn row_for_spec(
+        &self,
+        spec: &PhaseSpec,
+        deadline: Instant,
+    ) -> Result<(RowSource, Arc<AffinityRow>), RowError> {
+        let fingerprint = spec.fingerprint();
+        let key = row_key(&fingerprint);
+        if let Some(row) = self.pinned.get(&key) {
+            cisa_obs::counter("serve/affinity/table_hit", 1);
+            return Ok((RowSource::Pinned, Arc::clone(row)));
+        }
+        if let Some(row) = self.rows.get(key) {
+            cisa_obs::counter("serve/affinity/row_hit", 1);
+            return Ok((RowSource::Cached, row));
+        }
+
+        // Share one refinement per fingerprint: the first requester
+        // initializes the cell, later ones block on it. The cell is
+        // removed once filled, so a failed refinement can be retried
+        // by a later request.
+        let cell = {
+            let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(inflight.entry(key).or_default())
+        };
+        let result = cell
+            .get_or_init(|| {
+                let r = self.refine(spec, &fingerprint, deadline);
+                if let Ok(row) = &r {
+                    self.rows.insert(key, Arc::clone(row));
+                }
+                r
+            })
+            .clone();
+        let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        inflight.remove(&key);
+        drop(inflight);
+        result.map(|row| (RowSource::Refined, row))
+    }
+
+    /// Runs the online refinement: probe every feature set (through
+    /// the two-tier store) on the bounded pool, then evaluate the full
+    /// row. Bit-identical to the batch path for the same spec.
+    fn refine(
+        &self,
+        spec: &PhaseSpec,
+        fingerprint: &str,
+        deadline: Instant,
+    ) -> Result<Arc<AffinityRow>, RowError> {
+        let _span = cisa_obs::span("refine");
+        cisa_obs::counter("serve/affinity/refine", 1);
+        if Instant::now() >= deadline {
+            return Err(RowError::DeadlineExceeded);
+        }
+        if !self.permits.acquire(deadline) {
+            cisa_obs::counter("serve/refine/permit_timeout", 1);
+            return Err(RowError::DeadlineExceeded);
+        }
+        let result = self.refine_locked(spec, fingerprint, deadline);
+        self.permits.release();
+        result
+    }
+
+    fn refine_locked(
+        &self,
+        spec: &PhaseSpec,
+        fingerprint: &str,
+        deadline: Instant,
+    ) -> Result<Arc<AffinityRow>, RowError> {
+        const DEADLINE_MSG: &str = "deadline exceeded";
+        let fss = &self.space.feature_sets;
+        // One panic-isolated task per feature set; a poisoned probe
+        // retries once and then fails the request, never the server.
+        let (profiles, report) =
+            par_map_isolated(fss, self.config.refine_threads, 2, |fs, _, _| {
+                if Instant::now() >= deadline {
+                    return Err(DEADLINE_MSG.to_string());
+                }
+                if let Some(p) = self.store.load(spec, *fs) {
+                    return Ok(p);
+                }
+                let code = cisa_compile(spec, fs)?;
+                let p = probe_compiled(spec, &code);
+                self.store.store(spec, *fs, &p);
+                Ok(p)
+            });
+        if !report.failed.is_empty() {
+            if report.failed.iter().any(|e| e.message == DEADLINE_MSG) {
+                return Err(RowError::DeadlineExceeded);
+            }
+            cisa_obs::counter("serve/refine/failed", 1);
+            return Err(RowError::RefineFailed(report.failed[0].message.clone()));
+        }
+        if Instant::now() >= deadline {
+            return Err(RowError::DeadlineExceeded);
+        }
+        let n_ua = self.space.microarchs.len();
+        let mut perfs = Vec::with_capacity(fss.len() * n_ua);
+        for (fi, fs) in fss.iter().enumerate() {
+            let prof = profiles[fi].as_ref().expect("clean report has all items");
+            for ua in &self.space.microarchs {
+                perfs.push(evaluate(prof, ua, &ua.with_fs(*fs)));
+            }
+        }
+        Ok(Arc::new(AffinityRow {
+            phase: spec.name(),
+            fingerprint: fingerprint.to_string(),
+            perfs,
+        }))
+    }
+}
+
+/// Compiles a phase for one feature set, mapping failures to strings
+/// (the refinement pool's error type).
+fn cisa_compile(spec: &PhaseSpec, fs: &FeatureSet) -> Result<cisa_compiler::CompiledCode, String> {
+    cisa_compiler::compile(
+        &cisa_workloads::generate(spec),
+        fs,
+        &cisa_compiler::CompileOptions::default(),
+    )
+    .map_err(|e| format!("compiling {} for {fs}: {e}", spec.name()))
+}

@@ -13,6 +13,8 @@
 //! the behaviour annotations) for the cycle-level simulator, and
 //! [`simpoint`] implements the BBV + k-means phase analysis methodology.
 
+#![warn(missing_docs)]
+
 pub mod arena;
 pub mod benchmarks;
 pub mod generator;
