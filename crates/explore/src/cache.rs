@@ -27,6 +27,20 @@
 //! directory can always be deleted (or versions mixed) safely. Writes
 //! go through a temp file + rename, so concurrent processes never
 //! observe torn entries.
+//!
+//! ## Crash safety
+//!
+//! The write protocol (create temp → write payload → rename over the
+//! final path) guarantees that a process killed at *any* point leaves
+//! the published entry either bit-identical to its previous contents
+//! or absent — never torn — because `rename(2)` is atomic on POSIX
+//! filesystems and the final path is only ever the target of a rename.
+//! [`CrashPoint`] enumerates every kill point in that protocol and
+//! [`ProfileCache::store_crashing`] simulates dying there, so the
+//! guarantee is directly testable. A crash can still leave an orphan
+//! temp file behind; [`ProfileCache::recover`] scans the directory at
+//! startup, deletes orphan temps and invalid entries, and reports what
+//! it cleaned (`cache/recover_tmp` / `cache/recover_torn` counters).
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -51,6 +65,53 @@ const FILE_MAGIC: u64 = 0xC15A_CAC4_E000_0000 | SCHEMA_VERSION as u64;
 /// The fixed trace seed probes use (kept in the key so a future change
 /// invalidates old entries).
 const TRACE_SEED: u64 = 0xBEEF;
+
+/// A kill point in the entry-write protocol (create temp → write →
+/// rename). [`ProfileCache::store_crashing`] simulates a process dying
+/// at the chosen point; the crash-safety acceptance test walks every
+/// point and asserts the published entry is always either the old
+/// bits or a clean miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Killed right after the temp file was created (empty temp left).
+    AfterTmpCreate,
+    /// Killed mid-`write` (partially written temp left).
+    AfterPartialWrite,
+    /// Killed after the payload was fully written but before the
+    /// rename (complete temp left, entry unpublished).
+    AfterFullWrite,
+    /// Killed after the rename (entry fully published; equivalent to a
+    /// clean store).
+    AfterRename,
+}
+
+impl CrashPoint {
+    /// Every kill point, in protocol order.
+    pub const ALL: [CrashPoint; 4] = [
+        CrashPoint::AfterTmpCreate,
+        CrashPoint::AfterPartialWrite,
+        CrashPoint::AfterFullWrite,
+        CrashPoint::AfterRename,
+    ];
+}
+
+/// What [`ProfileCache::recover`] found and cleaned up.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Orphan temp files deleted (crashes between create and rename).
+    pub tmp_removed: usize,
+    /// Published entries that failed validation and were deleted.
+    pub torn_removed: usize,
+    /// Published entries that validated cleanly and were kept.
+    pub entries_valid: usize,
+}
+
+impl RecoveryReport {
+    /// True when the scan found nothing to clean.
+    pub fn is_clean(&self) -> bool {
+        self.tmp_removed == 0 && self.torn_removed == 0
+    }
+}
 
 /// 64-bit FNV-1a over a byte string.
 pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
@@ -195,6 +256,70 @@ impl ProfileCache {
         }
     }
 
+    /// Fault injection: runs the entry-write protocol for `(spec,
+    /// fs)` but simulates the process being killed at `point` — the
+    /// on-disk state afterwards is exactly what a real kill there
+    /// would leave (orphan temp files included). Uses a distinct temp
+    /// suffix so a concurrent clean `store` from the same process is
+    /// never disturbed.
+    pub fn store_crashing(
+        &self,
+        spec: &PhaseSpec,
+        fs: FeatureSet,
+        profile: &PhaseProfile,
+        point: CrashPoint,
+    ) {
+        let path = self.path_for(Self::key(spec, fs));
+        let mut bytes = Vec::with_capacity(Self::ENTRY_BYTES);
+        bytes.extend_from_slice(&FILE_MAGIC.to_le_bytes());
+        for v in profile.to_values() {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let tmp = path.with_extension(format!("tmp.crash{}", std::process::id()));
+        let written: &[u8] = match point {
+            CrashPoint::AfterTmpCreate => &[],
+            CrashPoint::AfterPartialWrite => &bytes[..bytes.len() / 2],
+            CrashPoint::AfterFullWrite | CrashPoint::AfterRename => &bytes,
+        };
+        let ok = std::fs::File::create(&tmp).and_then(|mut f| f.write_all(written));
+        if ok.is_ok() && point == CrashPoint::AfterRename {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+
+    /// Startup recovery scan: deletes orphan temp files (left by
+    /// crashes between temp-create and rename) and published entries
+    /// that fail validation, so every surviving `.profile` file in the
+    /// directory is a complete, current-schema entry. Safe to run
+    /// concurrently with readers — an entry is only ever deleted when
+    /// it would read as a miss anyway.
+    pub fn recover(&self) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return report;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if name.contains(".tmp.") {
+                if std::fs::remove_file(&path).is_ok() {
+                    cisa_obs::counter("cache/recover_tmp", 1);
+                    report.tmp_removed += 1;
+                }
+            } else if name.ends_with(".profile") {
+                if self.read_file(&path).is_some() {
+                    report.entries_valid += 1;
+                } else if std::fs::remove_file(&path).is_ok() {
+                    cisa_obs::counter("cache/recover_torn", 1);
+                    report.torn_removed += 1;
+                }
+            }
+        }
+        report
+    }
+
     /// `(hits, misses, stores)` since this handle was opened.
     pub fn stats(&self) -> (u64, u64, u64) {
         (
@@ -312,6 +437,38 @@ mod tests {
         assert_eq!(cache.load(spec, FeatureSet::minimal()), None);
         assert_eq!(cache.stats(), (0, 1, 0));
         assert!(!cache.tear_entry(spec, FeatureSet::minimal(), 0));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn recover_deletes_orphan_tmps_and_torn_entries_only() {
+        let cache = ProfileCache::new(tmp_dir("recover"));
+        let phases = all_phases();
+        let fs = FeatureSet::x86_64();
+        let good = probe(&phases[0], fs);
+        cache.store(&phases[0], fs, &good);
+        // A crash that never published: orphan temp, no entry.
+        cache.store_crashing(
+            &phases[1],
+            fs,
+            &probe(&phases[1], fs),
+            CrashPoint::AfterFullWrite,
+        );
+        // A torn published entry (filesystem without atomic rename).
+        cache.store(&phases[2], fs, &probe(&phases[2], fs));
+        assert!(cache.tear_entry(&phases[2], fs, 11));
+
+        let report = cache.recover();
+        assert_eq!(report.tmp_removed, 1, "{report:?}");
+        assert_eq!(report.torn_removed, 1, "{report:?}");
+        assert_eq!(report.entries_valid, 1, "{report:?}");
+        assert!(!report.is_clean());
+        // The valid entry still reads bit-identically; the others miss.
+        assert_eq!(cache.load(&phases[0], fs), Some(good));
+        assert_eq!(cache.load(&phases[1], fs), None);
+        assert_eq!(cache.load(&phases[2], fs), None);
+        // A second scan finds nothing left to clean.
+        assert!(cache.recover().is_clean());
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

@@ -6,7 +6,7 @@
 //! any failing sweep can be reproduced from its seed alone — no fault
 //! log shipping, no race on which worker saw the fault first.
 //!
-//! Four fault domains cover the pipeline's trust boundaries:
+//! Five fault domains cover the pipeline's trust boundaries:
 //!
 //! - **streams** — bit-flips and truncations in encoded instruction
 //!   bytes, exercising the decoder's structured-error path
@@ -16,13 +16,19 @@
 //! - **records** — poisoned (non-finite) profile values standing in
 //!   for corrupt trace records, exercising result validation;
 //! - **panics** — forced worker panics, exercising the sweep runner's
-//!   `catch_unwind` isolation and retry.
+//!   `catch_unwind` isolation and retry;
+//! - **serve** — faults at the service boundary: slow-loris client
+//!   pacing, torn/partial socket writes, injected store I/O errors,
+//!   and forced panics of HTTP worker threads (exercising the
+//!   watchdog respawn path in `cisa-serve`).
 //!
 //! Stream and record faults are keyed by item index only, so they
 //! *persist* across retries (a corrupt input stays corrupt — the item
 //! must be reported failed). Forced panics fire on attempt 0 only, so
 //! they are *transient* — a retry succeeds and the item's result is
-//! bit-identical to a fault-free run.
+//! bit-identical to a fault-free run. Serve-domain decisions are keyed
+//! by request/operation sequence number, so a chaos run against a live
+//! server replays exactly from the seed and the scenario script.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -40,6 +46,9 @@ pub enum FaultDomain {
     Record,
     /// Worker panics.
     Panic,
+    /// The service boundary: client wire behavior, store I/O, HTTP
+    /// worker panics.
+    Serve,
 }
 
 impl FaultDomain {
@@ -49,8 +58,19 @@ impl FaultDomain {
             FaultDomain::Cache => 0x5745_4A4D_0000_0002,
             FaultDomain::Record => 0x5745_4A4D_0000_0003,
             FaultDomain::Panic => 0x5745_4A4D_0000_0004,
+            FaultDomain::Serve => 0x5745_4A4D_0000_0005,
         }
     }
+}
+
+/// Sub-streams of the [`FaultDomain::Serve`] decision space. Each kind
+/// derives its own RNG stream, so (for example) enabling store I/O
+/// errors never perturbs the slow-loris pacing a seed produces.
+#[derive(Debug, Clone, Copy)]
+enum ServeKind {
+    StoreIo = 1,
+    Loris = 2,
+    WireCut = 3,
 }
 
 /// One fault a plan actually applied, with enough detail to assert on
@@ -115,6 +135,8 @@ pub struct FaultPlan {
     record_poison_rate: f64,
     cache_tear_rate: f64,
     panic_items: Vec<usize>,
+    store_io_error_rate: f64,
+    serve_panic_requests: Vec<u64>,
 }
 
 impl FaultPlan {
@@ -126,6 +148,8 @@ impl FaultPlan {
             record_poison_rate: 0.0,
             cache_tear_rate: 0.0,
             panic_items: Vec::new(),
+            store_io_error_rate: 0.0,
+            serve_panic_requests: Vec::new(),
         }
     }
 
@@ -170,12 +194,32 @@ impl FaultPlan {
         self.stream_corruption_rate > 0.0
     }
 
+    /// Fails each disk operation of the serving profile store with
+    /// this probability (reads degrade to misses, writes are dropped —
+    /// exactly how a real I/O error is absorbed).
+    pub fn with_store_io_errors(mut self, rate: f64) -> Self {
+        self.store_io_error_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Forces the HTTP worker handling each listed request sequence
+    /// number to panic, exercising the serving watchdog's respawn
+    /// path. Unlike sweep panics there is no retry tier: the
+    /// connection dies and the *next* request must be served by a
+    /// respawned worker.
+    pub fn with_serve_panics(mut self, requests: &[u64]) -> Self {
+        self.serve_panic_requests = requests.to_vec();
+        self
+    }
+
     /// True if no fault kind is enabled.
     pub fn is_empty(&self) -> bool {
         self.stream_corruption_rate == 0.0
             && self.record_poison_rate == 0.0
             && self.cache_tear_rate == 0.0
             && self.panic_items.is_empty()
+            && self.store_io_error_rate == 0.0
+            && self.serve_panic_requests.is_empty()
     }
 
     /// The decision RNG for one (domain, item, attempt) triple.
@@ -244,6 +288,47 @@ impl FaultPlan {
             return None;
         }
         Some(rng.gen_range(0..len))
+    }
+
+    /// The decision RNG for one serve-domain (kind, sequence) pair.
+    fn serve_rng(&self, kind: ServeKind, index: usize) -> SmallRng {
+        self.rng(FaultDomain::Serve, index, kind as u32)
+    }
+
+    /// Should disk operation `op_index` of the serving profile store
+    /// fail with an injected I/O error?
+    pub fn store_io_fails(&self, op_index: usize) -> bool {
+        if self.store_io_error_rate == 0.0 {
+            return false;
+        }
+        self.serve_rng(ServeKind::StoreIo, op_index)
+            .gen_bool(self.store_io_error_rate)
+    }
+
+    /// Should the HTTP worker handling request `seq` panic?
+    pub fn should_panic_request(&self, seq: u64) -> bool {
+        self.serve_panic_requests.contains(&seq)
+    }
+
+    /// Deterministic slow-loris pacing for connection `index`:
+    /// `(bytes_per_write, pause_ms_between_writes)`. Chaos clients
+    /// trickle request bytes at this pace to exercise the server's
+    /// total-read budget.
+    pub fn slow_loris_params(&self, index: usize) -> (usize, u64) {
+        let mut rng = self.serve_rng(ServeKind::Loris, index);
+        (rng.gen_range(1..=3), rng.gen_range(5..=25))
+    }
+
+    /// Deterministic cut point for a torn/partial socket write of a
+    /// `len`-byte request: the client sends only this many bytes
+    /// before abandoning the connection. Always strictly less than
+    /// `len` (and at least 1 when possible), so the request on the
+    /// wire is genuinely incomplete.
+    pub fn wire_cut(&self, index: usize, len: usize) -> usize {
+        if len <= 1 {
+            return 0;
+        }
+        self.serve_rng(ServeKind::WireCut, index).gen_range(1..len)
     }
 }
 
@@ -320,6 +405,49 @@ mod tests {
         assert!(vals.iter().all(|v| v.is_finite()));
         assert_eq!(plan.tear_cache_entry(0, 256), None);
         assert!(!plan.should_panic(0, 0));
+        assert!(!plan.store_io_fails(0));
+        assert!(!plan.should_panic_request(0));
+    }
+
+    #[test]
+    fn serve_domain_decisions_replay_and_stay_in_range() {
+        let a = FaultPlan::new(77).with_store_io_errors(0.5);
+        let b = FaultPlan::new(77).with_store_io_errors(0.5);
+        for i in 0..500 {
+            assert_eq!(a.store_io_fails(i), b.store_io_fails(i), "op {i}");
+            assert_eq!(a.slow_loris_params(i), b.slow_loris_params(i));
+            assert_eq!(a.wire_cut(i, 300), b.wire_cut(i, 300));
+            let (chunk, pause) = a.slow_loris_params(i);
+            assert!((1..=3).contains(&chunk));
+            assert!((5..=25).contains(&pause));
+            let cut = a.wire_cut(i, 300);
+            assert!((1..300).contains(&cut));
+        }
+        assert_eq!(a.wire_cut(0, 0), 0, "degenerate wire length");
+        assert_eq!(a.wire_cut(0, 1), 0, "nothing to cut in one byte");
+        let hits = (0..1000).filter(|&i| a.store_io_fails(i)).count();
+        assert!((300..700).contains(&hits), "rate honoured: {hits}");
+    }
+
+    #[test]
+    fn serve_panics_fire_only_on_listed_requests() {
+        let plan = FaultPlan::new(5).with_serve_panics(&[2, 9]);
+        assert!(!plan.is_empty());
+        assert!(plan.should_panic_request(2));
+        assert!(plan.should_panic_request(9));
+        assert!(!plan.should_panic_request(3));
+    }
+
+    #[test]
+    fn serve_kind_streams_are_decorrelated() {
+        // Enabling one serve fault kind must not change another kind's
+        // decisions (each kind derives its own RNG stream).
+        let bare = FaultPlan::new(123);
+        let with_io = FaultPlan::new(123).with_store_io_errors(1.0);
+        for i in 0..100 {
+            assert_eq!(bare.slow_loris_params(i), with_io.slow_loris_params(i));
+            assert_eq!(bare.wire_cut(i, 64), with_io.wire_cut(i, 64));
+        }
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod store;
 pub mod systems;
 pub mod table;
 
-pub use cache::ProfileCache;
+pub use cache::{CrashPoint, ProfileCache, RecoveryReport};
 pub use faults::{FaultDomain, FaultPlan, InjectedFault};
 pub use interval::{evaluate, PhasePerf};
 pub use multicore::{

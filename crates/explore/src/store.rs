@@ -30,7 +30,8 @@ use std::sync::Mutex;
 use cisa_isa::FeatureSet;
 use cisa_workloads::PhaseSpec;
 
-use crate::cache::ProfileCache;
+use crate::cache::{ProfileCache, RecoveryReport};
+use crate::faults::FaultPlan;
 use crate::profile::PhaseProfile;
 
 /// One LRU shard: a hash map from content key to `(value, last-use
@@ -173,6 +174,8 @@ pub struct ShardedProfileStore {
     mem_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
+    faults: Option<FaultPlan>,
+    io_ops: AtomicU64,
 }
 
 impl ShardedProfileStore {
@@ -199,7 +202,44 @@ impl ShardedProfileStore {
             mem_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            faults: None,
+            io_ops: AtomicU64::new(0),
         }
+    }
+
+    /// Installs a chaos [`FaultPlan`]: every disk-tier operation then
+    /// consults [`FaultPlan::store_io_fails`] and, when it fires,
+    /// behaves exactly like a real I/O error — a failed read degrades
+    /// to a miss, a failed write is dropped (the memory tier still
+    /// updates). Counted as `serve/resilience/store_io_error`.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Whether the next disk operation survives fault injection. Draws
+    /// one decision per call from the plan's store-I/O stream.
+    fn disk_io_ok(&self) -> bool {
+        let Some(plan) = &self.faults else {
+            return true;
+        };
+        let op = self.io_ops.fetch_add(1, Ordering::Relaxed) as usize;
+        if plan.store_io_fails(op) {
+            cisa_obs::counter("serve/resilience/store_io_error", 1);
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Runs the disk tier's startup recovery scan (orphan temp files,
+    /// torn entries). A no-op [`RecoveryReport`] when the store has no
+    /// disk tier.
+    pub fn recover(&self) -> RecoveryReport {
+        self.disk
+            .as_ref()
+            .map(ProfileCache::recover)
+            .unwrap_or_default()
     }
 
     /// Looks up the probe result for `(spec, fs)`: memory, then disk
@@ -212,11 +252,13 @@ impl ShardedProfileStore {
             return Some(p);
         }
         if let Some(disk) = &self.disk {
-            if let Some(p) = disk.load(spec, fs) {
-                cisa_obs::counter("store/disk_hit", 1);
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                self.mem.insert(key, p);
-                return Some(p);
+            if self.disk_io_ok() {
+                if let Some(p) = disk.load(spec, fs) {
+                    cisa_obs::counter("store/disk_hit", 1);
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    self.mem.insert(key, p);
+                    return Some(p);
+                }
             }
         }
         cisa_obs::counter("store/miss", 1);
@@ -228,7 +270,9 @@ impl ShardedProfileStore {
     pub fn store(&self, spec: &PhaseSpec, fs: FeatureSet, profile: &PhaseProfile) {
         self.mem.insert(ProfileCache::key(spec, fs), *profile);
         if let Some(disk) = &self.disk {
-            disk.store(spec, fs, profile);
+            if self.disk_io_ok() {
+                disk.store(spec, fs, profile);
+            }
         }
     }
 
@@ -336,6 +380,31 @@ mod tests {
         assert_eq!(other.load(spec, fs), Some(p));
         assert_eq!(other.stats().disk_hits, 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_io_errors_degrade_but_never_corrupt() {
+        let dir = tmp_dir("faulty-io");
+        let spec = &all_phases()[3];
+        let fs = FeatureSet::x86_64();
+        let p = probe(spec, fs);
+        // Every disk op fails: the store degrades to its memory tier.
+        let store = ShardedProfileStore::new(Some(ProfileCache::new(&dir)))
+            .with_fault_plan(FaultPlan::new(1).with_store_io_errors(1.0));
+        store.store(spec, fs, &p);
+        assert_eq!(store.load(spec, fs), Some(p), "memory tier still serves");
+        // Nothing reached disk, so a clean handle over the same
+        // directory misses — a dropped write, not a torn one.
+        let clean = ShardedProfileStore::new(Some(ProfileCache::new(&dir)));
+        assert_eq!(clean.load(spec, fs), None);
+        assert!(clean.recover().is_clean(), "no torn state left behind");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_without_disk_tier_is_a_clean_noop() {
+        let store = ShardedProfileStore::new(None);
+        assert_eq!(store.recover(), RecoveryReport::default());
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Crash-safety acceptance: kill the profile-store write protocol at
+//! every point and assert the published entry is always either the old
+//! bit-identical contents or a clean miss — never a torn read — and
+//! that the startup recovery scan leaves no crash debris behind.
+
+use std::path::PathBuf;
+
+use cisa_explore::{probe, CrashPoint, ProfileCache, ShardedProfileStore};
+use cisa_isa::FeatureSet;
+use cisa_workloads::all_phases;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("cisa-crash-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Count leftover temp files in a cache directory.
+fn tmp_files(dir: &std::path::Path) -> usize {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+#[test]
+fn kill_at_every_crash_point_yields_old_entry_or_clean_miss() {
+    let phases = all_phases();
+    let spec = &phases[0];
+    let fs = FeatureSet::x86_64();
+    let old = probe(spec, fs);
+    // A different payload under the same key stands in for the "new"
+    // version a crashed writer was publishing.
+    let new_payload = probe(&phases[1], fs);
+    assert_ne!(old, new_payload, "distinct payloads for the same key");
+
+    for point in CrashPoint::ALL {
+        for had_old_entry in [false, true] {
+            let dir = tmp_dir(&format!("kill-{point:?}-{had_old_entry}"));
+            let cache = ProfileCache::new(&dir);
+            if had_old_entry {
+                cache.store(spec, fs, &old);
+            }
+            cache.store_crashing(spec, fs, &new_payload, point);
+
+            // Invariant BEFORE any recovery: reads never see torn data.
+            let seen = cache.load(spec, fs);
+            match point {
+                CrashPoint::AfterRename => {
+                    assert_eq!(
+                        seen,
+                        Some(new_payload),
+                        "{point:?}: a completed rename publishes the new entry"
+                    );
+                }
+                _ if had_old_entry => {
+                    assert_eq!(
+                        seen,
+                        Some(old),
+                        "{point:?}: pre-rename kill must preserve the old bits"
+                    );
+                }
+                _ => {
+                    assert_eq!(seen, None, "{point:?}: pre-rename kill is a clean miss");
+                }
+            }
+
+            // Recovery clears the debris and never disturbs the
+            // published entry.
+            let report = cache.recover();
+            let expect_tmps = !matches!(point, CrashPoint::AfterRename);
+            assert_eq!(
+                report.tmp_removed,
+                usize::from(expect_tmps),
+                "{point:?} had_old={had_old_entry}: {report:?}"
+            );
+            assert_eq!(report.torn_removed, 0, "rename is atomic: nothing torn");
+            assert_eq!(tmp_files(&dir), 0, "no temp debris after recovery");
+            assert_eq!(cache.load(spec, fs), seen, "recovery preserves the answer");
+
+            // The next writer publishes cleanly over whatever is left.
+            cache.store(spec, fs, &new_payload);
+            assert_eq!(cache.load(spec, fs), Some(new_payload));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+#[test]
+fn sharded_store_recovers_through_its_disk_tier() {
+    let phases = all_phases();
+    let spec = &phases[2];
+    let fs = FeatureSet::superset();
+    let p = probe(spec, fs);
+    let dir = tmp_dir("store-tier");
+
+    // Crash mid-publish through a raw cache handle...
+    let cache = ProfileCache::new(&dir);
+    cache.store(spec, fs, &p);
+    cache.store_crashing(spec, fs, &p, CrashPoint::AfterPartialWrite);
+
+    // ...then bring up the serving store over the same directory, as a
+    // restarted server would.
+    let store = ShardedProfileStore::new(Some(ProfileCache::new(&dir)));
+    let report = store.recover();
+    assert_eq!(report.tmp_removed, 1, "{report:?}");
+    assert_eq!(report.entries_valid, 1, "{report:?}");
+    assert_eq!(
+        store.load(spec, fs),
+        Some(p),
+        "old entry survives bit-identically"
+    );
+    assert_eq!(tmp_files(&dir), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,10 +1,10 @@
 //! Request handlers: routing, request decoding, ranking, and response
 //! rendering for the four service endpoints.
 //!
-//! Handlers are pure functions from `(state, request)` to
-//! `(status, JSON body)` — the transport loop in [`crate::server`]
-//! owns sockets, timeouts and metrics, so everything here is directly
-//! unit-testable without a listener.
+//! Handlers are pure functions from `(state, request)` to a [`Reply`]
+//! (status, JSON body, optional `Retry-After`) — the transport loop in
+//! [`crate::server`] owns sockets, timeouts and metrics, so everything
+//! here is directly unit-testable without a listener.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -22,20 +22,44 @@ use crate::state::{RowError, ServerState};
 /// Hard cap on `top` / `limit` request parameters.
 const MAX_LIMIT: usize = 1000;
 
-/// Routes one request to its handler. Returns the status code and the
-/// JSON body to send.
-pub fn handle(state: &Arc<ServerState>, req: &Request) -> (u16, String) {
+/// One handler's complete answer: status, JSON body, and the optional
+/// `Retry-After` seconds the transport should put on the wire (set on
+/// overload rejections so clients back off instead of retrying hot).
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON response body.
+    pub body: String,
+    /// `Retry-After` header value in seconds, when the client should
+    /// back off before retrying.
+    pub retry_after: Option<u64>,
+}
+
+impl From<(u16, String)> for Reply {
+    fn from((status, body): (u16, String)) -> Self {
+        Reply {
+            status,
+            body,
+            retry_after: None,
+        }
+    }
+}
+
+/// Routes one request to its handler.
+pub fn handle(state: &Arc<ServerState>, req: &Request) -> Reply {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => healthz(state),
-        ("GET", "/v1/designs") => designs(state, req),
-        ("GET", "/v1/metrics") => metrics(state),
+        ("GET", "/healthz") => healthz(state).into(),
+        ("GET", "/v1/designs") => designs(state, req).into(),
+        ("GET", "/v1/metrics") => metrics(state).into(),
         ("POST", "/v1/affinity") => affinity(state, req),
         (_, "/healthz" | "/v1/designs" | "/v1/metrics" | "/v1/affinity") => error_response(
             405,
             "method_not_allowed",
             &format!("{} is not supported on {}", req.method, req.path),
-        ),
-        _ => error_response(404, "not_found", &format!("no route for {}", req.path)),
+        )
+        .into(),
+        _ => error_response(404, "not_found", &format!("no route for {}", req.path)).into(),
     }
 }
 
@@ -61,7 +85,11 @@ fn healthz(state: &Arc<ServerState>) -> (u16, String) {
     let mut w = JsonWriter::new();
     w.begin_obj()
         .key("status")
-        .str_val("ok")
+        .str_val(state.lifecycle().name())
+        .key("breaker")
+        .str_val(state.breaker().state_name())
+        .key("requests_seen")
+        .uint(state.requests_seen())
         .key("phases")
         .uint(state.phases.len() as u64)
         .key("feature_sets")
@@ -251,40 +279,43 @@ impl Objective {
 
 /// `POST /v1/affinity` — the main query: rank feature sets for a phase
 /// under a power/area budget.
-fn affinity(state: &Arc<ServerState>, req: &Request) -> (u16, String) {
+fn affinity(state: &Arc<ServerState>, req: &Request) -> Reply {
     let _span = cisa_obs::span("affinity");
     let body = match std::str::from_utf8(&req.body) {
         Ok(s) => s,
-        Err(_) => return error_response(400, "bad_request", "body is not UTF-8"),
+        Err(_) => return error_response(400, "bad_request", "body is not UTF-8").into(),
     };
     let root = match parse(body) {
         Ok(v) => v,
-        Err(e) => return error_response(400, "bad_json", &e.to_string()),
+        Err(e) => return error_response(400, "bad_json", &e.to_string()).into(),
     };
     if root.as_obj().is_none() {
-        return error_response(400, "bad_request", "request body must be a JSON object");
+        return error_response(400, "bad_request", "request body must be a JSON object").into();
     }
 
     // Resolve the phase: a known name, or an inline spec.
     let spec = match (root.get("phase"), root.get("spec")) {
         (Some(_), Some(_)) => {
-            return error_response(400, "bad_request", "give either phase or spec, not both")
+            return error_response(400, "bad_request", "give either phase or spec, not both").into()
         }
         (Some(p), None) => {
             let Some(name) = p.as_str() else {
-                return error_response(400, "bad_request", "phase must be a string");
+                return error_response(400, "bad_request", "phase must be a string").into();
             };
             match state.phase_spec(name) {
                 Some(s) => s.clone(),
-                None => return error_response(404, "unknown_phase", &format!("no phase {name:?}")),
+                None => {
+                    return error_response(404, "unknown_phase", &format!("no phase {name:?}"))
+                        .into()
+                }
             }
         }
         (None, Some(s)) => match parse_spec(s) {
             Ok(spec) => spec,
-            Err(msg) => return error_response(400, "bad_spec", &msg),
+            Err(msg) => return error_response(400, "bad_spec", &msg).into(),
         },
         (None, None) => {
-            return error_response(400, "bad_request", "request needs a phase or a spec")
+            return error_response(400, "bad_request", "request needs a phase or a spec").into()
         }
     };
 
@@ -298,6 +329,7 @@ fn affinity(state: &Arc<ServerState>, req: &Request) -> (u16, String) {
                 "bad_request",
                 &format!("objective must be edp, energy or delay, got {other:?}"),
             )
+            .into()
         }
     };
     let top = match root.get("top") {
@@ -310,12 +342,13 @@ fn affinity(state: &Arc<ServerState>, req: &Request) -> (u16, String) {
                     "bad_request",
                     &format!("top must be an integer in 1..={MAX_LIMIT}"),
                 )
+                .into()
             }
         },
     };
     let (max_power, max_area) = match parse_budget(&root) {
         Ok(b) => b,
-        Err(msg) => return error_response(400, "bad_request", &msg),
+        Err(msg) => return error_response(400, "bad_request", &msg).into(),
     };
     let current_fs = match root.get("current_feature_set") {
         None => None,
@@ -327,6 +360,7 @@ fn affinity(state: &Arc<ServerState>, req: &Request) -> (u16, String) {
                     "bad_request",
                     "current_feature_set is not a feature set",
                 )
+                .into()
             }
         },
     };
@@ -336,7 +370,10 @@ fn affinity(state: &Arc<ServerState>, req: &Request) -> (u16, String) {
             Some(ms) if (0.0..=3_600_000.0).contains(&ms) => {
                 Instant::now() + Duration::from_millis(ms as u64)
             }
-            _ => return error_response(400, "bad_request", "deadline_ms must be in 0..=3600000"),
+            _ => {
+                return error_response(400, "bad_request", "deadline_ms must be in 0..=3600000")
+                    .into()
+            }
         },
     };
 
@@ -349,8 +386,23 @@ fn affinity(state: &Arc<ServerState>, req: &Request) -> (u16, String) {
                 "deadline_exceeded",
                 "the deadline expired before the phase could be refined",
             )
+            .into()
         }
-        Err(RowError::RefineFailed(msg)) => return error_response(500, "refine_failed", &msg),
+        Err(RowError::RefineFailed(msg)) => {
+            return error_response(500, "refine_failed", &msg).into()
+        }
+        Err(RowError::RefineUnavailable { retry_after_s }) => {
+            let (status, body) = error_response(
+                503,
+                "refine_unavailable",
+                "the refinement tier's circuit breaker is open; retry later",
+            );
+            return Reply {
+                status,
+                body,
+                retry_after: Some(retry_after_s),
+            };
+        }
     };
 
     // Rank: per feature set, the best in-budget microarch by objective.
@@ -390,7 +442,8 @@ fn affinity(state: &Arc<ServerState>, req: &Request) -> (u16, String) {
             400,
             "infeasible_budget",
             "no design point fits the requested budget",
-        );
+        )
+        .into();
     }
     // Stable order: score, then feature-set index for exact ties.
     ranked.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
@@ -457,7 +510,7 @@ fn affinity(state: &Arc<ServerState>, req: &Request) -> (u16, String) {
         w.end_obj();
     }
     w.end_arr().end_obj();
-    (200, w.finish())
+    (200, w.finish()).into()
 }
 
 /// Parses the optional `budget` member into `(max_power_w, max_area_mm2)`.

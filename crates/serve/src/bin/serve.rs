@@ -9,9 +9,12 @@
 //!
 //! Flags: `--addr HOST:PORT` (default `127.0.0.1:8780`), `--workers N`
 //! (HTTP workers), `--refines N` (concurrent refinement sweeps),
-//! `--deadline-ms MS` (default request deadline). The table and probe
-//! cache live in `results/` at the workspace root (override with
-//! `CISA_RESULTS`).
+//! `--deadline-ms MS` (default request deadline), `--queue N`
+//! (admission queue capacity; connections beyond it are shed with a
+//! 429). The table and probe cache live in `results/` at the workspace
+//! root (override with `CISA_RESULTS`). At startup the probe cache is
+//! scanned for crash debris from a previous run (orphan temp files,
+//! torn entries) and cleaned before serving.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -59,6 +62,11 @@ fn parse_args() -> Result<(String, ServeConfig), String> {
                     .map_err(|e| format!("--deadline-ms: {e}"))?;
                 config.default_deadline = Duration::from_millis(ms);
             }
+            "--queue" => {
+                config.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -92,6 +100,15 @@ fn main() {
     );
 
     let store = ShardedProfileStore::new(Some(ProfileCache::new(results.join("cache"))));
+    // A previous process may have been killed mid-publish; clean up
+    // its debris before taking traffic.
+    let recovery = store.recover();
+    if !recovery.is_clean() {
+        eprintln!(
+            "serve: store recovery: removed {} temp file(s), {} torn entr(y/ies); {} valid",
+            recovery.tmp_removed, recovery.torn_removed, recovery.entries_valid
+        );
+    }
     let state = Arc::new(ServerState::from_table(
         space, &table, phases, store, config,
     ));

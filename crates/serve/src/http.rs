@@ -10,11 +10,37 @@
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Upper bound on the request head (request line + headers).
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Upper bound on a request body; larger bodies get 413.
 pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// Which phase of reading a request a timeout struck in. Distinguishes
+/// an idle keep-alive close (routine) from a client that stalled
+/// mid-request (slow-loris or a dying peer) — both get a structured
+/// 408, but operators want to count them apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadStage {
+    /// No request bytes had arrived yet (idle keep-alive connection).
+    Idle,
+    /// The head was partially received when the read stalled.
+    Head,
+    /// The declared body was partially received when the read stalled.
+    Body,
+}
+
+impl ReadStage {
+    /// Stable lowercase name used in 408 bodies and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReadStage::Idle => "idle",
+            ReadStage::Head => "head",
+            ReadStage::Body => "body",
+        }
+    }
+}
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -60,7 +86,12 @@ pub enum RecvError {
     /// The peer closed the connection before sending a request
     /// (normal end of a keep-alive session).
     Closed,
-    /// Socket-level failure or read timeout.
+    /// A socket read timed out (per-read idle timeout or the total
+    /// request read budget), with the phase it struck in. The caller
+    /// owes the client a structured 408 — a silent close looks like a
+    /// network fault and defeats client retry logic.
+    TimedOut(ReadStage),
+    /// Socket-level failure other than a timeout.
     Io(std::io::Error),
     /// The request head exceeded [`MAX_HEAD_BYTES`].
     HeadTooLarge,
@@ -70,8 +101,25 @@ pub enum RecvError {
     Malformed(&'static str),
 }
 
-/// Reads one request from `stream`, enforcing head and body limits.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, RecvError> {
+/// True for the error kinds a blocking-socket read timeout surfaces as.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one request from `stream`, enforcing head and body limits and
+/// a total read budget.
+///
+/// The per-read socket timeout (set by the acceptor) bounds how long
+/// one `read(2)` may stall, but a slow-loris client that trickles a
+/// byte per timeout window would hold a worker forever; `budget`
+/// bounds the *total* wall-clock time one request may take to arrive.
+/// Either limit expiring surfaces as [`RecvError::TimedOut`] with the
+/// read stage it struck in.
+pub fn read_request(stream: &mut TcpStream, budget: Duration) -> Result<Request, RecvError> {
+    let deadline = Instant::now() + budget;
     // Read until the blank line ending the head.
     let mut head = Vec::with_capacity(512);
     let mut buf = [0u8; 1024];
@@ -84,7 +132,19 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, RecvError> {
         if head.len() > MAX_HEAD_BYTES {
             return Err(RecvError::HeadTooLarge);
         }
-        let n = stream.read(&mut buf).map_err(RecvError::Io)?;
+        let stage = if head.is_empty() {
+            ReadStage::Idle
+        } else {
+            ReadStage::Head
+        };
+        if Instant::now() >= deadline {
+            return Err(RecvError::TimedOut(stage));
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(n) => n,
+            Err(e) if is_timeout(&e) => return Err(RecvError::TimedOut(stage)),
+            Err(e) => return Err(RecvError::Io(e)),
+        };
         if n == 0 {
             return if head.is_empty() {
                 Err(RecvError::Closed)
@@ -144,7 +204,14 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, RecvError> {
     // CRLFCRLF separator already stripped by `find_head_end`).
     let mut body = rest.to_vec();
     while body.len() < content_length {
-        let n = stream.read(&mut buf).map_err(RecvError::Io)?;
+        if Instant::now() >= deadline {
+            return Err(RecvError::TimedOut(ReadStage::Body));
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(n) => n,
+            Err(e) if is_timeout(&e) => return Err(RecvError::TimedOut(ReadStage::Body)),
+            Err(e) => return Err(RecvError::Io(e)),
+        };
         if n == 0 {
             return Err(RecvError::Malformed("connection closed mid-body"));
         }
@@ -212,6 +279,7 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
@@ -220,17 +288,27 @@ pub fn reason(status: u16) -> &'static str {
 }
 
 /// Writes a complete JSON response with `Content-Length` framing.
+///
+/// `retry_after` adds a `Retry-After: <seconds>` header — set it on
+/// 429/503 shed responses so well-behaved clients back off instead of
+/// hammering an overloaded server.
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
     body: &str,
     close: bool,
+    retry_after: Option<u64>,
 ) -> std::io::Result<()> {
+    let retry = match retry_after {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
         status,
         reason(status),
         body.len(),
+        retry,
         if close { "close" } else { "keep-alive" },
     );
     stream.write_all(head.as_bytes())?;
@@ -258,8 +336,15 @@ mod tests {
 
     #[test]
     fn reasons_cover_service_codes() {
-        for code in [200, 400, 404, 405, 408, 413, 500, 503, 504] {
+        for code in [200, 400, 404, 405, 408, 413, 429, 500, 503, 504] {
             assert_ne!(reason(code), "Unknown", "{code}");
         }
+    }
+
+    #[test]
+    fn read_stage_names_are_stable() {
+        assert_eq!(ReadStage::Idle.name(), "idle");
+        assert_eq!(ReadStage::Head.name(), "head");
+        assert_eq!(ReadStage::Body.name(), "body");
     }
 }

@@ -26,9 +26,9 @@
 //! |---|---|
 //! | [`json`] | strict JSON parser + deterministic writer (bit-exact `f64` round trips) |
 //! | [`http`] | request framing over `std::net` with head/body caps |
-//! | [`state`] | design space, pinned rows, row LRU, online refinement pool |
+//! | [`state`] | design space, pinned rows, row LRU, refinement pool, circuit breaker |
 //! | [`api`] | routing, request decoding, ranking, response rendering |
-//! | [`server`] | acceptor + worker pool, keep-alive, metrics, shutdown |
+//! | [`server`] | acceptor + worker pool, bounded admission, watchdog, drain |
 //!
 //! # Answer tiers
 //!
@@ -40,6 +40,31 @@
 //! two-tier [`ShardedProfileStore`](cisa_explore::ShardedProfileStore),
 //! and evaluate the full row. The response's `source` field reports
 //! which tier answered.
+//!
+//! # Resilience
+//!
+//! The serving stack protects itself from overload and partial
+//! failure rather than assuming a polite world:
+//!
+//! - **Load shedding** — accepted connections queue on a *bounded*
+//!   channel; when it fills, the acceptor sheds with a structured
+//!   429 + `Retry-After` instead of queueing unboundedly.
+//! - **Circuit breaker** — consecutive refinement failures open a
+//!   breaker over the online-refinement tier (503 + `Retry-After`
+//!   while open, half-open trials after a cooldown). Pinned and cached
+//!   answers never touch it.
+//! - **Read budgets** — a total per-request read budget defeats
+//!   slow-loris clients the per-read idle timeout cannot; timeouts get
+//!   a structured 408 naming the read stage, never a silent drop.
+//! - **Watchdog** — a supervisor respawns any worker or acceptor
+//!   thread that panics.
+//! - **Graceful drain** — shutdown flips `/healthz` to `draining`,
+//!   finishes in-flight and queued requests, then closes the listener.
+//!
+//! Every event surfaces as a `serve/resilience/*` counter (see
+//! `METRICS.md`), and the chaos suite in `tests/chaos.rs` drives the
+//! whole stack against a seeded
+//! [`FaultPlan`](cisa_explore::FaultPlan).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -50,6 +75,9 @@ pub mod json;
 pub mod server;
 pub mod state;
 
-pub use api::handle;
+pub use api::{handle, Reply};
+pub use http::ReadStage;
 pub use server::Server;
-pub use state::{AffinityRow, RowError, RowSource, ServeConfig, ServerState};
+pub use state::{
+    AffinityRow, CircuitBreaker, Lifecycle, RowError, RowSource, ServeConfig, ServerState,
+};

@@ -1,96 +1,110 @@
-//! The transport loop: accept, keep-alive, worker pool, per-request
-//! metrics, graceful shutdown.
+//! The transport loop: accept, keep-alive, bounded admission, worker
+//! pool, watchdog, per-request metrics, graceful drain and shutdown.
 //!
 //! One acceptor thread feeds connections to `config.workers` worker
-//! threads over a channel; each worker owns one connection at a time
-//! and serves its keep-alive request sequence to completion. Request
-//! handling itself never panics the worker: handler panics are
-//! confined to the refinement pool ([`crate::state`]), and transport
-//! errors just close the connection.
+//! threads over a *bounded* channel (`config.queue_capacity`); when the
+//! queue is full further connections are shed immediately with a
+//! structured 429 + `Retry-After` instead of piling up behind a slow
+//! tier. A supervisor thread watches the acceptor and every worker and
+//! respawns any that panic, so one poisoned request cannot bleed the
+//! pool dry. Shutdown is a drain: `/healthz` flips to `draining`,
+//! in-flight and already-queued requests finish, keep-alive
+//! connections are closed at the next request boundary, and only then
+//! do the threads join and the listener close.
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::api;
-use crate::http::{read_request, write_response, RecvError};
-use crate::state::ServerState;
+use crate::http::{read_request, write_response, ReadStage, RecvError};
+use crate::state::{Lifecycle, ServerState};
+
+/// How often the supervisor checks its threads for panics.
+const WATCHDOG_POLL: Duration = Duration::from_millis(15);
+/// Write timeout for shed (429) responses: an overloaded server must
+/// not block its acceptor on a slow client's receive window.
+const SHED_WRITE_TIMEOUT: Duration = Duration::from_millis(100);
 
 /// A running affinity server.
 ///
-/// Dropping the handle (or calling [`Server::shutdown`]) stops the
-/// acceptor, drains the workers, and joins every thread.
+/// Dropping the handle (or calling [`Server::shutdown`]) drains
+/// in-flight work and joins every thread.
 #[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     requests: Arc<AtomicU64>,
-    threads: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+    state: Arc<ServerState>,
+}
+
+/// Everything a worker thread needs, bundled for respawning.
+#[derive(Clone)]
+struct WorkerCtx {
+    rx: Arc<Mutex<Receiver<TcpStream>>>,
+    state: Arc<ServerState>,
+    requests: Arc<AtomicU64>,
+}
+
+/// Everything the acceptor thread needs, bundled for respawning.
+#[derive(Clone)]
+struct AcceptorCtx {
+    listener: Arc<TcpListener>,
+    stop: Arc<AtomicBool>,
+    tx: SyncSender<TcpStream>,
+    idle: Duration,
+    retry_after_s: u64,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
     /// starts serving `state` in background threads.
     pub fn start(addr: &str, state: Arc<ServerState>) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
+        let listener = Arc::new(TcpListener::bind(addr)?);
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let requests = Arc::new(AtomicU64::new(0));
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(state.config.queue_capacity.max(1));
+        let worker_ctx = WorkerCtx {
+            rx: Arc::new(Mutex::new(rx)),
+            state: Arc::clone(&state),
+            requests: Arc::clone(&requests),
+        };
+        let acceptor_ctx = AcceptorCtx {
+            listener,
+            stop: Arc::clone(&stop),
+            tx,
+            idle: state.config.idle_timeout,
+            retry_after_s: state.config.shed_retry_after_s,
+        };
 
-        let mut threads = Vec::new();
-        for i in 0..state.config.workers.max(1) {
-            let rx = Arc::clone(&rx);
-            let state = Arc::clone(&state);
-            let requests = Arc::clone(&requests);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || loop {
-                        let conn = {
-                            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
-                            guard.recv()
-                        };
-                        match conn {
-                            Ok(stream) => serve_connection(stream, &state, &requests),
-                            Err(_) => return, // acceptor gone: shutdown
-                        }
-                    })
-                    .expect("spawning a worker thread"),
-            );
-        }
-
-        let acceptor_stop = Arc::clone(&stop);
-        let idle = state.config.idle_timeout;
-        threads.push(
-            std::thread::Builder::new()
-                .name("serve-acceptor".to_string())
-                .spawn(move || {
-                    for conn in listener.incoming() {
-                        if acceptor_stop.load(Ordering::SeqCst) {
-                            return;
-                        }
-                        let Ok(stream) = conn else { continue };
-                        // A read timeout bounds how long an idle
-                        // keep-alive connection pins a worker.
-                        let _ = stream.set_read_timeout(Some(idle));
-                        let _ = stream.set_nodelay(true);
-                        if tx.send(stream).is_err() {
-                            return;
-                        }
-                    }
-                })
-                .expect("spawning the acceptor thread"),
-        );
+        let n_workers = state.config.workers.max(1);
+        let sup_stop = Arc::clone(&stop);
+        let sup_state = Arc::clone(&state);
+        let supervisor = std::thread::Builder::new()
+            .name("serve-supervisor".to_string())
+            .spawn(move || {
+                supervise(
+                    local,
+                    n_workers,
+                    sup_stop,
+                    sup_state,
+                    worker_ctx,
+                    acceptor_ctx,
+                )
+            })
+            .expect("spawning the supervisor thread");
 
         Ok(Server {
             addr: local,
             stop,
             requests,
-            threads,
+            supervisor: Some(supervisor),
+            state,
         })
     }
 
@@ -104,18 +118,18 @@ impl Server {
         self.requests.load(Ordering::Relaxed)
     }
 
-    /// Stops accepting, drains in-flight connections, joins all
-    /// threads. Idempotent.
+    /// Begins the drain (`/healthz` flips to `draining`, new work is
+    /// refused), waits for in-flight and queued requests to finish,
+    /// joins all threads and closes the listener. Idempotent.
     pub fn shutdown(&mut self) {
-        if self.stop.swap(true, Ordering::SeqCst) {
-            return;
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            self.state.set_lifecycle(Lifecycle::Draining);
+            // The acceptor blocks in accept(); poke it with a throwaway
+            // connection so it observes the stop flag.
+            let _ = TcpStream::connect(self.addr);
         }
-        // The acceptor blocks in accept(); poke it with a connection
-        // so it observes the stop flag. Dropping it drops `tx`, which
-        // in turn stops the workers.
-        let _ = TcpStream::connect(self.addr);
-        for t in self.threads.drain(..) {
-            let _ = t.join();
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
         }
     }
 }
@@ -126,13 +140,114 @@ impl Drop for Server {
     }
 }
 
+/// The watchdog loop: respawn panicked threads until shutdown, then
+/// orchestrate the drain.
+fn supervise(
+    addr: SocketAddr,
+    n_workers: usize,
+    stop: Arc<AtomicBool>,
+    state: Arc<ServerState>,
+    worker_ctx: WorkerCtx,
+    acceptor_ctx: AcceptorCtx,
+) {
+    let mut acceptor = spawn_acceptor(acceptor_ctx.clone());
+    let mut workers: Vec<JoinHandle<()>> = (0..n_workers)
+        .map(|i| spawn_worker(i, worker_ctx.clone()))
+        .collect();
+
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(WATCHDOG_POLL);
+        if acceptor.is_finished() && !stop.load(Ordering::SeqCst) {
+            if acceptor.join().is_err() {
+                cisa_obs::counter("serve/resilience/respawn_acceptor", 1);
+            }
+            acceptor = spawn_acceptor(acceptor_ctx.clone());
+        }
+        for (i, slot) in workers.iter_mut().enumerate() {
+            if slot.is_finished() && !stop.load(Ordering::SeqCst) {
+                let dead = std::mem::replace(slot, spawn_worker(i, worker_ctx.clone()));
+                if dead.join().is_err() {
+                    cisa_obs::counter("serve/resilience/respawn_worker", 1);
+                }
+            }
+        }
+    }
+
+    // Drain. The acceptor may have been respawned after the shutdown
+    // poke; poke again so it cannot be stuck in accept().
+    let _ = TcpStream::connect(addr);
+    let _ = acceptor.join();
+    // Dropping the last sender ends the workers' queue: std::mpsc
+    // still delivers already-queued connections first, so accepted
+    // work is served, not dropped.
+    drop(acceptor_ctx);
+    for w in workers {
+        let _ = w.join();
+    }
+    state.set_lifecycle(Lifecycle::Stopped);
+}
+
+fn spawn_worker(i: usize, ctx: WorkerCtx) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("serve-worker-{i}"))
+        .spawn(move || loop {
+            let conn = {
+                let guard = ctx.rx.lock().unwrap_or_else(|e| e.into_inner());
+                guard.recv()
+            };
+            match conn {
+                Ok(stream) => serve_connection(stream, &ctx.state, &ctx.requests),
+                Err(_) => return, // all senders gone: shutdown
+            }
+        })
+        .expect("spawning a worker thread")
+}
+
+fn spawn_acceptor(ctx: AcceptorCtx) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("serve-acceptor".to_string())
+        .spawn(move || {
+            for conn in ctx.listener.incoming() {
+                if ctx.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let Ok(stream) = conn else { continue };
+                // A read timeout bounds how long one read(2) may stall
+                // on an idle keep-alive connection.
+                let _ = stream.set_read_timeout(Some(ctx.idle));
+                let _ = stream.set_nodelay(true);
+                match ctx.tx.try_send(stream) {
+                    Ok(()) => {}
+                    // Queue full: shed instead of queueing unboundedly.
+                    Err(TrySendError::Full(stream)) => shed(stream, ctx.retry_after_s),
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            }
+        })
+        .expect("spawning the acceptor thread")
+}
+
+/// Sheds one connection with a structured 429 + `Retry-After`. Runs on
+/// the acceptor thread, so the write is strictly time-boxed.
+fn shed(mut stream: TcpStream, retry_after_s: u64) {
+    cisa_obs::counter("serve/resilience/shed", 1);
+    let _ = stream.set_write_timeout(Some(SHED_WRITE_TIMEOUT));
+    let (status, body) = api::error_response(
+        429,
+        "overloaded",
+        "the server is at capacity; retry after a backoff",
+    );
+    let _ = write_response(&mut stream, status, &body, true, Some(retry_after_s));
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
 /// Sends a terminal error response, then drains what the client is
 /// still sending (bounded) so the close is a clean FIN rather than an
 /// RST that could destroy the response in flight.
 fn reject(stream: &mut TcpStream, status: u16, code: &str, message: &str) {
     let (status, body) = api::error_response(status, code, message);
-    let _ = write_response(stream, status, &body, true);
-    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = write_response(stream, status, &body, true, None);
+    let _ = stream.shutdown(Shutdown::Write);
     let mut buf = [0u8; 4096];
     let mut budget: usize = 1 << 20;
     while budget > 0 {
@@ -146,18 +261,37 @@ fn reject(stream: &mut TcpStream, status: u16, code: &str, message: &str) {
 /// Serves one connection's keep-alive request sequence.
 fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>, requests: &Arc<AtomicU64>) {
     loop {
+        // During a drain, wait only `drain_grace` for the next
+        // pipelined request, and close after answering it.
+        let draining = state.lifecycle() != Lifecycle::Running;
+        let budget = if draining {
+            let _ = stream.set_read_timeout(Some(state.config.drain_grace));
+            state.config.drain_grace
+        } else {
+            state.config.read_budget
+        };
         let started = Instant::now();
-        let req = match read_request(&mut stream) {
+        let req = match read_request(&mut stream, budget) {
             Ok(r) => r,
             Err(RecvError::Closed) => return,
-            Err(RecvError::Io(e))
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                // Idle keep-alive timeout: tell pipelined clients why.
-                let (status, body) =
-                    api::error_response(408, "request_timeout", "idle connection timed out");
-                let _ = write_response(&mut stream, status, &body, true);
+            Err(RecvError::TimedOut(stage)) => {
+                if draining && stage == ReadStage::Idle {
+                    // Nothing pipelined: a quiet close, not a client
+                    // error.
+                    cisa_obs::counter("serve/resilience/drain_close", 1);
+                    return;
+                }
+                // Structured 408 rather than a silent close: a client
+                // mid-retry-loop needs to see *why* the connection
+                // died, and operators need it counted.
+                cisa_obs::counter("serve/resilience/timeout_408", 1);
+                cisa_obs::counter(&format!("serve/resilience/timeout_408_{}", stage.name()), 1);
+                let (status, body) = api::error_response(
+                    408,
+                    "request_timeout",
+                    &format!("timed out reading the request ({} stage)", stage.name()),
+                );
+                let _ = write_response(&mut stream, status, &body, true, None);
                 return;
             }
             Err(RecvError::Io(_)) => return,
@@ -185,17 +319,38 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>, requests: &
             }
         };
 
+        // Chaos: the fault plan may demand this worker die right here,
+        // exercising the supervisor's respawn path.
+        let seq = state.next_request_seq();
+        if let Some(plan) = &state.config.chaos {
+            if plan.should_panic_request(seq) {
+                cisa_obs::counter("serve/resilience/chaos_panic", 1);
+                panic!("chaos plan: forced worker panic on request {seq}");
+            }
+        }
+
         let _span = cisa_obs::root_span("serve/request");
         cisa_obs::counter("serve/request", 1);
         cisa_obs::hist("serve/body_bytes", req.body.len() as u64);
-        let (status, body) = api::handle(state, &req);
-        cisa_obs::counter(&format!("serve/status/{status}"), 1);
+        let reply = api::handle(state, &req);
+        cisa_obs::counter(&format!("serve/status/{}", reply.status), 1);
         let latency = started.elapsed().as_nanos() as u64;
         cisa_obs::hist("serve/latency_ns", latency);
         requests.fetch_add(1, Ordering::Relaxed);
 
-        let close = req.wants_close();
-        if write_response(&mut stream, status, &body, close).is_err() || close {
+        // Re-read the lifecycle: a drain that began while this request
+        // was in flight must still close the connection now.
+        let close = req.wants_close() || draining || state.lifecycle() != Lifecycle::Running;
+        if write_response(
+            &mut stream,
+            reply.status,
+            &reply.body,
+            close,
+            reply.retry_after,
+        )
+        .is_err()
+            || close
+        {
             return;
         }
     }

@@ -16,13 +16,14 @@
 //!    row eviction or a server restart — refines without re-probing.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use cisa_explore::interval::evaluate;
 use cisa_explore::profile::probe_compiled;
 use cisa_explore::runner::par_map_isolated;
-use cisa_explore::{DesignId, DesignSpace, PerfTable, ShardedLru, ShardedProfileStore};
+use cisa_explore::{DesignId, DesignSpace, FaultPlan, PerfTable, ShardedLru, ShardedProfileStore};
 use cisa_isa::FeatureSet;
 use cisa_workloads::PhaseSpec;
 
@@ -46,6 +47,33 @@ pub struct ServeConfig {
     pub row_shards: usize,
     /// Rows per shard in the refined-row LRU.
     pub row_capacity_per_shard: usize,
+    /// Accepted connections queued for a worker; when full, further
+    /// connections are shed with a structured 429 instead of piling up
+    /// unboundedly behind a slow tier.
+    pub queue_capacity: usize,
+    /// Hard per-request budget for the refinement tier. The effective
+    /// refinement deadline is `min(request deadline, now + budget)`, so
+    /// a generous client deadline cannot pin a refinement permit for
+    /// minutes.
+    pub refine_budget: Duration,
+    /// Consecutive refinement failures/timeouts that trip the circuit
+    /// breaker open.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects refinements before admitting a
+    /// half-open trial request.
+    pub breaker_cooldown: Duration,
+    /// `Retry-After` seconds suggested on shed (429) and breaker-open
+    /// (503) responses.
+    pub shed_retry_after_s: u64,
+    /// During drain, how long a worker waits for one more pipelined
+    /// request on a keep-alive connection before closing it.
+    pub drain_grace: Duration,
+    /// Total wall-clock budget for reading one request off the socket
+    /// (slow-loris bound; the idle timeout only bounds each read).
+    pub read_budget: Duration,
+    /// Deterministic fault injection for chaos tests (None in
+    /// production).
+    pub chaos: Option<FaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +86,180 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(5),
             row_shards: 8,
             row_capacity_per_shard: 64,
+            queue_capacity: 128,
+            refine_budget: Duration::from_secs(10),
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_secs(2),
+            shed_retry_after_s: 1,
+            drain_grace: Duration::from_millis(50),
+            read_budget: Duration::from_secs(10),
+            chaos: None,
+        }
+    }
+}
+
+/// Where the server is in its life: accepting work, finishing in-flight
+/// work, or stopped. Reported by `/healthz` so load balancers stop
+/// routing to a draining instance before its listener goes away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lifecycle {
+    /// Accepting and serving requests normally.
+    Running,
+    /// Shutdown has begun: in-flight requests finish, new work is
+    /// refused, `/healthz` reports `draining`.
+    Draining,
+    /// All workers have exited; the listener is closed.
+    Stopped,
+}
+
+impl Lifecycle {
+    /// Stable lowercase name used in `/healthz` responses.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lifecycle::Running => "ok",
+            Lifecycle::Draining => "draining",
+            Lifecycle::Stopped => "stopped",
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => Lifecycle::Running,
+            1 => Lifecycle::Draining,
+            _ => Lifecycle::Stopped,
+        }
+    }
+}
+
+/// The circuit breaker's decision for one refinement request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admission {
+    /// Proceed with the refinement (breaker closed).
+    Admit,
+    /// Proceed as the half-open trial: this request's outcome decides
+    /// whether the breaker closes or re-opens, so every exit path must
+    /// report back.
+    Trial,
+    /// The breaker is open; reject without spending any refinement
+    /// work, suggesting the client retry after the cooldown.
+    Reject,
+}
+
+/// Internal breaker state machine (guarded by one mutex; transitions
+/// are cheap and refinements are seconds-long, so contention is nil).
+#[derive(Debug)]
+enum BreakerInner {
+    /// Healthy; counts consecutive failures toward the threshold.
+    Closed { consecutive_failures: u32 },
+    /// Tripped; rejects refinements until the cooldown elapses.
+    Open { until: Instant },
+    /// Cooldown elapsed; one trial refinement is in flight. Success
+    /// closes the breaker, failure re-opens it.
+    HalfOpen,
+}
+
+/// A circuit breaker over the online-refinement tier.
+///
+/// Refinement is the one tier that can fail repeatedly and expensively
+/// (poisoned probes, saturated permit pool): after
+/// [`ServeConfig::breaker_threshold`] consecutive failures the breaker
+/// opens and refinement requests are rejected instantly with a 503 +
+/// `Retry-After` instead of each burning a deadline's worth of work.
+/// After [`ServeConfig::breaker_cooldown`] one half-open trial request
+/// is admitted; its outcome decides between closing and re-opening.
+/// Pinned-table and row-cache answers never consult the breaker.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    inner: Mutex<BreakerInner>,
+    threshold: u32,
+    cooldown: Duration,
+}
+
+impl CircuitBreaker {
+    fn new(threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            inner: Mutex::new(BreakerInner::Closed {
+                consecutive_failures: 0,
+            }),
+            threshold: threshold.max(1),
+            cooldown,
+        }
+    }
+
+    /// Stable state name (`closed` / `open` / `half_open`) reported by
+    /// `/healthz`.
+    pub fn state_name(&self) -> &'static str {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match *inner {
+            BreakerInner::Closed { .. } => "closed",
+            BreakerInner::Open { .. } => "open",
+            BreakerInner::HalfOpen => "half_open",
+        }
+    }
+
+    /// Decides whether a refinement may proceed, transitioning
+    /// Open -> HalfOpen when the cooldown has elapsed.
+    fn try_admit(&self) -> Admission {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match *inner {
+            BreakerInner::Closed { .. } => Admission::Admit,
+            BreakerInner::Open { until } => {
+                if Instant::now() >= until {
+                    *inner = BreakerInner::HalfOpen;
+                    cisa_obs::counter("serve/resilience/breaker_half_open", 1);
+                    Admission::Trial
+                } else {
+                    Admission::Reject
+                }
+            }
+            // One trial at a time: the trial request moved Open ->
+            // HalfOpen; everyone else waits for its verdict.
+            BreakerInner::HalfOpen => Admission::Reject,
+        }
+    }
+
+    fn on_success(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if !matches!(
+            *inner,
+            BreakerInner::Closed {
+                consecutive_failures: 0
+            }
+        ) {
+            if !matches!(*inner, BreakerInner::Closed { .. }) {
+                cisa_obs::counter("serve/resilience/breaker_close", 1);
+            }
+            *inner = BreakerInner::Closed {
+                consecutive_failures: 0,
+            };
+        }
+    }
+
+    fn on_failure(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let trip = match *inner {
+            BreakerInner::Closed {
+                consecutive_failures,
+            } => {
+                let n = consecutive_failures + 1;
+                if n >= self.threshold {
+                    true
+                } else {
+                    *inner = BreakerInner::Closed {
+                        consecutive_failures: n,
+                    };
+                    false
+                }
+            }
+            // A failed half-open trial re-opens immediately.
+            BreakerInner::HalfOpen => true,
+            BreakerInner::Open { .. } => false,
+        };
+        if trip {
+            *inner = BreakerInner::Open {
+                until: Instant::now() + self.cooldown,
+            };
+            cisa_obs::counter("serve/resilience/breaker_open", 1);
         }
     }
 }
@@ -154,6 +356,12 @@ pub enum RowError {
     DeadlineExceeded,
     /// Refinement failed (poisoned probes exhausting their retries).
     RefineFailed(String),
+    /// The refinement circuit breaker is open; retry after the
+    /// suggested number of seconds.
+    RefineUnavailable {
+        /// Seconds the client should wait before retrying.
+        retry_after_s: u64,
+    },
 }
 
 type InflightCell = Arc<OnceLock<Result<Arc<AffinityRow>, RowError>>>;
@@ -174,6 +382,9 @@ pub struct ServerState {
     store: ShardedProfileStore,
     inflight: Mutex<HashMap<u64, InflightCell>>,
     permits: Permits,
+    breaker: CircuitBreaker,
+    lifecycle: AtomicU8,
+    request_seq: AtomicU64,
     started: Instant,
 }
 
@@ -232,6 +443,7 @@ impl ServerState {
         }
         let rows = ShardedLru::new(config.row_shards, config.row_capacity_per_shard);
         let permits = Permits::new(config.max_concurrent_refines);
+        let breaker = CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown);
         ServerState {
             space,
             config,
@@ -243,8 +455,38 @@ impl ServerState {
             store,
             inflight: Mutex::new(HashMap::new()),
             permits,
+            breaker,
+            lifecycle: AtomicU8::new(0),
+            request_seq: AtomicU64::new(0),
             started: Instant::now(),
         }
+    }
+
+    /// The refinement circuit breaker (state reported by `/healthz`).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// The server's current lifecycle stage.
+    pub fn lifecycle(&self) -> Lifecycle {
+        Lifecycle::from_u8(self.lifecycle.load(Ordering::Acquire))
+    }
+
+    /// Moves the server to `stage` (called by the serving loop; state
+    /// only ever advances Running -> Draining -> Stopped).
+    pub fn set_lifecycle(&self, stage: Lifecycle) {
+        self.lifecycle.store(stage as u8, Ordering::Release);
+    }
+
+    /// Total requests dispatched to handlers so far.
+    pub fn requests_seen(&self) -> u64 {
+        self.request_seq.load(Ordering::Relaxed)
+    }
+
+    /// Claims the next request sequence number (0-based; used by the
+    /// chaos plan to target specific requests deterministically).
+    pub fn next_request_seq(&self) -> u64 {
+        self.request_seq.fetch_add(1, Ordering::Relaxed)
     }
 
     /// The pinned row of a known phase name, with its phase index.
@@ -327,15 +569,42 @@ impl ServerState {
     ) -> Result<Arc<AffinityRow>, RowError> {
         let _span = cisa_obs::span("refine");
         cisa_obs::counter("serve/affinity/refine", 1);
+        let admission = self.breaker.try_admit();
+        if admission == Admission::Reject {
+            cisa_obs::counter("serve/resilience/breaker_reject", 1);
+            return Err(RowError::RefineUnavailable {
+                retry_after_s: self.config.breaker_cooldown.as_secs().max(1),
+            });
+        }
+        // A half-open trial owes the breaker a verdict on every exit
+        // path: abandoning one mid-flight would wedge the breaker in
+        // HalfOpen, rejecting refinements forever.
+        let trial = admission == Admission::Trial;
+        // The per-request deadline is capped by the server's own
+        // refinement budget: a client asking for a five-minute deadline
+        // must not pin a permit that long.
+        let deadline = deadline.min(Instant::now() + self.config.refine_budget);
         if Instant::now() >= deadline {
+            if trial {
+                self.breaker.on_failure();
+            }
             return Err(RowError::DeadlineExceeded);
         }
         if !self.permits.acquire(deadline) {
             cisa_obs::counter("serve/refine/permit_timeout", 1);
+            // For a closed breaker a permit-wait timeout reflects load,
+            // not tier health, and does not count toward the threshold.
+            if trial {
+                self.breaker.on_failure();
+            }
             return Err(RowError::DeadlineExceeded);
         }
         let result = self.refine_locked(spec, fingerprint, deadline);
         self.permits.release();
+        match &result {
+            Ok(_) => self.breaker.on_success(),
+            Err(_) => self.breaker.on_failure(),
+        }
         result
     }
 

@@ -17,7 +17,6 @@ use cisa_workloads::PhaseSpec;
 const N_PHASES: usize = 3;
 
 struct Fixture {
-    state: Arc<ServerState>,
     space: DesignSpace,
     table: PerfTable,
     phases: Vec<PhaseSpec>,
@@ -32,16 +31,7 @@ fn fixture() -> &'static Fixture {
             .take(N_PHASES)
             .collect();
         let table = PerfTable::build_for_phases(&space, &phases);
-        let store = ShardedProfileStore::new(None);
-        let state = Arc::new(ServerState::from_table(
-            DesignSpace::new(),
-            &table,
-            phases.clone(),
-            store,
-            ServeConfig::default(),
-        ));
         Fixture {
-            state,
             space,
             table,
             phases,
@@ -49,8 +39,23 @@ fn fixture() -> &'static Fixture {
     })
 }
 
+/// A fresh state per server: tests run in parallel, and lifecycle
+/// (running / draining) is per-state, so sharing one state across
+/// servers would let one test's shutdown drain another's. Building
+/// state from the shared table is cheap; only the table build is not.
+fn fresh_state() -> Arc<ServerState> {
+    let fx = fixture();
+    Arc::new(ServerState::from_table(
+        DesignSpace::new(),
+        &fx.table,
+        fx.phases.clone(),
+        ShardedProfileStore::new(None),
+        ServeConfig::default(),
+    ))
+}
+
 fn start_server() -> Server {
-    Server::start("127.0.0.1:0", Arc::clone(&fixture().state)).expect("bind loopback")
+    Server::start("127.0.0.1:0", fresh_state()).expect("bind loopback")
 }
 
 /// One-shot HTTP client: sends a request with `Connection: close` and
