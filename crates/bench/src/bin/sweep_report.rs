@@ -137,5 +137,22 @@ fn main() {
         runner.threads(),
         report.summary()
     );
+    // Table-fill stage breakdown: the batched block evaluator emits
+    // one `table/fill_block` span per (cell, profile) sweep, nested
+    // under the sweep items; sum across nestings.
+    let (fill_calls, fill_ns) = snap
+        .spans()
+        .filter(|(path, _)| path.ends_with("table/fill_block"))
+        .fold((0u64, 0u64), |(c, ns), (_, s)| {
+            (c + s.count, ns + s.total_ns)
+        });
+    if fill_calls > 0 {
+        println!(
+            "table fill: {} block sweeps over {} design evaluations in {:.3}s",
+            fill_calls,
+            snap.counter("table/block_evals"),
+            fill_ns as f64 / 1e9
+        );
+    }
     print!("{}", obs_report::render(&snap, wall));
 }

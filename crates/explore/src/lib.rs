@@ -44,7 +44,7 @@ pub mod table;
 
 pub use cache::{CrashPoint, ProfileCache, RecoveryReport};
 pub use faults::{FaultDomain, FaultPlan, InjectedFault};
-pub use interval::{evaluate, PhasePerf};
+pub use interval::{evaluate, evaluate_block, PhasePerf};
 pub use multicore::{
     reference_design, search, search_reported, Budget, CoreChoice, Evaluator, Objective,
     SearchConfig, SearchResult,
@@ -54,7 +54,7 @@ pub use profile::{
     PROBE_UOPS,
 };
 pub use runner::{par_map, par_map_isolated, threads, ItemError, SweepReport, SweepRunner};
-pub use space::{all_microarchs, DesignId, DesignSpace, MicroArch};
+pub use space::{all_microarchs, l1_geo_idx, l2_geo_idx, DesignId, DesignSpace, MicroArch, UaSoa};
 pub use store::{ShardedLru, ShardedProfileStore, StoreStats};
 pub use systems::{
     candidates, constrained_candidates, search_system, sensitivity_constraints, SystemKind,

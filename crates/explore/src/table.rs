@@ -24,10 +24,69 @@ use std::path::Path;
 use cisa_isa::VendorIsa;
 use cisa_workloads::{all_phases, PhaseSpec};
 
-use crate::interval::{evaluate, PhasePerf};
+use crate::interval::{evaluate, evaluate_block, PhasePerf};
 use crate::profile::PhaseProfile;
 use crate::runner::{SweepReport, SweepRunner};
 use crate::space::{DesignId, DesignSpace};
+
+/// One (phase, feature-set) cell of the fill: 180 composite entries
+/// plus the derived vendor-ISA row when the cell's feature set is a
+/// vendor ISA's x86-ized equivalent.
+struct Cell {
+    perfs: Vec<PhasePerf>,
+    vendor: Option<(usize, Vec<PhasePerf>)>,
+}
+
+/// Fills one cell with the batched block evaluator: one
+/// [`evaluate_block`] sweep over the design-point-major SoA for the
+/// composite entries, and one more for the vendor-adjusted profile
+/// when applicable (the vendor row shares the cell's feature set, so
+/// the same peak-power column applies).
+fn evaluate_cell(space: &DesignSpace, fi: usize, prof: &PhaseProfile) -> Cell {
+    let fs = space.feature_sets[fi];
+    let n_ua = space.microarchs.len();
+    let peaks = space.peaks(fi);
+    let mut perfs = vec![PhasePerf::default(); n_ua];
+    evaluate_block(prof, fs, &space.soa, peaks, &mut perfs);
+    let vendor = VendorIsa::ALL
+        .iter()
+        .enumerate()
+        .find(|(_, v)| v.x86ized() == fs)
+        .map(|(vi, v)| {
+            let vprof = vendor_adjust(prof, *v);
+            let mut vperfs = vec![PhasePerf::default(); n_ua];
+            evaluate_block(&vprof, fs, &space.soa, peaks, &mut vperfs);
+            (vi, vperfs)
+        });
+    Cell { perfs, vendor }
+}
+
+/// Scalar-oracle twin of [`evaluate_cell`]: one [`evaluate`] call per
+/// design point, exactly as table builds ran before the batched path
+/// existed. Retained as the executable bit-identity reference for the
+/// `interval_block` suite and the `bench_table` speedup baseline.
+fn evaluate_cell_reference(space: &DesignSpace, fi: usize, prof: &PhaseProfile) -> Cell {
+    let fs = space.feature_sets[fi];
+    let perfs: Vec<PhasePerf> = space
+        .microarchs
+        .iter()
+        .map(|ua| evaluate(prof, ua, &ua.with_fs(fs)))
+        .collect();
+    let vendor = VendorIsa::ALL
+        .iter()
+        .enumerate()
+        .find(|(_, v)| v.x86ized() == fs)
+        .map(|(vi, v)| {
+            let vprof = vendor_adjust(prof, *v);
+            let vperfs = space
+                .microarchs
+                .iter()
+                .map(|ua| evaluate(&vprof, ua, &ua.with_fs(fs)))
+                .collect();
+            (vi, vperfs)
+        });
+    Cell { perfs, vendor }
+}
 
 /// Magic+version header for the on-disk format.
 const MAGIC: u64 = 0xC15A_7AB1_0000_0005;
@@ -113,11 +172,8 @@ impl PerfTable {
             .collect();
 
         // One task per (phase, feature set) cell, row-major so the
-        // merged output lands in table order.
-        struct Cell {
-            perfs: Vec<PhasePerf>,
-            vendor: Option<(usize, Vec<PhasePerf>)>,
-        }
+        // merged output lands in table order. Vendor ISAs are derived
+        // from their x86-ized probes inside the cell fill.
         let pairs: Vec<(usize, usize)> = (0..n_phases)
             .flat_map(|pi| (0..n_fs).map(move |fi| (pi, fi)))
             .collect();
@@ -125,26 +181,7 @@ impl PerfTable {
             let spec = &phases[pi];
             let fs = space.feature_sets[fi];
             let prof = runner.probe_checked(spec, fs, index, attempt)?;
-            let perfs: Vec<PhasePerf> = space
-                .microarchs
-                .iter()
-                .map(|ua| evaluate(&prof, ua, &ua.with_fs(fs)))
-                .collect();
-            // Vendor ISAs are derived from their x86-ized probes.
-            let vendor = VendorIsa::ALL
-                .iter()
-                .enumerate()
-                .find(|(_, v)| v.x86ized() == fs)
-                .map(|(vi, v)| {
-                    let vprof = vendor_adjust(&prof, *v);
-                    let vperfs = space
-                        .microarchs
-                        .iter()
-                        .map(|ua| evaluate(&vprof, ua, &ua.with_fs(fs)))
-                        .collect();
-                    (vi, vperfs)
-                });
-            Ok(Cell { perfs, vendor })
+            Ok(evaluate_cell(space, fi, &prof))
         });
 
         let mut entries = vec![PhasePerf::default(); n_phases * n_fs * n_ua];
@@ -169,6 +206,91 @@ impl PerfTable {
             vendor_entries,
         };
         (table, report)
+    }
+
+    /// Builds the table from an already-probed profile grid — row-major
+    /// `[phase][fs]`, as [`SweepRunner::profile_grid`] returns — with
+    /// the batched block evaluator. This is the pure model-evaluation
+    /// half of a build (no probing, no I/O): `bench_table` times it
+    /// warm, and the `interval_block` suite compares it entry-for-entry
+    /// against [`PerfTable::from_profile_grid_reference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid.len() != phases.len() * space.feature_sets.len()`.
+    pub fn from_profile_grid(
+        space: &DesignSpace,
+        phases: &[PhaseSpec],
+        grid: &[PhaseProfile],
+    ) -> Self {
+        Self::from_grid_impl(space, phases, grid, true)
+    }
+
+    /// Scalar-oracle twin of [`PerfTable::from_profile_grid`]: fills
+    /// every entry with one [`evaluate`] call per design point. Kept as
+    /// the executable bit-identity reference and the `bench_table`
+    /// speedup baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid.len() != phases.len() * space.feature_sets.len()`.
+    pub fn from_profile_grid_reference(
+        space: &DesignSpace,
+        phases: &[PhaseSpec],
+        grid: &[PhaseProfile],
+    ) -> Self {
+        Self::from_grid_impl(space, phases, grid, false)
+    }
+
+    fn from_grid_impl(
+        space: &DesignSpace,
+        phases: &[PhaseSpec],
+        grid: &[PhaseProfile],
+        batched: bool,
+    ) -> Self {
+        let n_ua = space.microarchs.len();
+        let n_fs = space.feature_sets.len();
+        let n_phases = phases.len();
+        assert_eq!(grid.len(), n_phases * n_fs, "profile grid shape mismatch");
+        let bench_names: Vec<&str> = cisa_workloads::all_benchmarks()
+            .iter()
+            .map(|b| b.name)
+            .collect();
+        let phase_benchmarks: Vec<u8> = phases
+            .iter()
+            .map(|p| {
+                bench_names
+                    .iter()
+                    .position(|n| *n == p.benchmark)
+                    .expect("known benchmark") as u8
+            })
+            .collect();
+        let mut entries = vec![PhasePerf::default(); n_phases * n_fs * n_ua];
+        let mut vendor_entries = vec![PhasePerf::default(); n_phases * 3 * n_ua];
+        for pi in 0..n_phases {
+            for fi in 0..n_fs {
+                let prof = &grid[pi * n_fs + fi];
+                let cell = if batched {
+                    evaluate_cell(space, fi, prof)
+                } else {
+                    evaluate_cell_reference(space, fi, prof)
+                };
+                entries[(pi * n_fs + fi) * n_ua..(pi * n_fs + fi + 1) * n_ua]
+                    .copy_from_slice(&cell.perfs);
+                if let Some((vi, vperfs)) = &cell.vendor {
+                    vendor_entries[(pi * 3 + vi) * n_ua..(pi * 3 + vi + 1) * n_ua]
+                        .copy_from_slice(vperfs);
+                }
+            }
+        }
+        PerfTable {
+            n_ua,
+            n_fs,
+            n_phases,
+            phase_benchmarks,
+            entries,
+            vendor_entries,
+        }
     }
 
     /// Looks up a composite design point for a phase.

@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use cisa_explore::interval::evaluate;
+use cisa_explore::interval::evaluate_block;
 use cisa_explore::profile::probe_compiled;
 use cisa_explore::runner::par_map_isolated;
 use cisa_explore::{DesignId, DesignSpace, FaultPlan, PerfTable, ShardedLru, ShardedProfileStore};
@@ -641,13 +641,20 @@ impl ServerState {
         if Instant::now() >= deadline {
             return Err(RowError::DeadlineExceeded);
         }
+        // Model evaluation rides the same batched block evaluator as
+        // the batch table fill, so refined rows stay bit-identical to
+        // table-built rows (asserted by the loopback suite).
         let n_ua = self.space.microarchs.len();
-        let mut perfs = Vec::with_capacity(fss.len() * n_ua);
+        let mut perfs = vec![PhasePerf::default(); fss.len() * n_ua];
         for (fi, fs) in fss.iter().enumerate() {
             let prof = profiles[fi].as_ref().expect("clean report has all items");
-            for ua in &self.space.microarchs {
-                perfs.push(evaluate(prof, ua, &ua.with_fs(*fs)));
-            }
+            evaluate_block(
+                prof,
+                *fs,
+                &self.space.soa,
+                self.space.peaks(fi),
+                &mut perfs[fi * n_ua..(fi + 1) * n_ua],
+            );
         }
         Ok(Arc::new(AffinityRow {
             phase: spec.name(),

@@ -129,13 +129,24 @@ pub struct MemLatency {
     pub mem: u32,
 }
 
+impl MemLatency {
+    /// The calibrated hierarchy latencies every simulation uses.
+    ///
+    /// Exported as a `const` so the interval model in `cisa-explore`
+    /// can derive its stall-term constants from the *same* values the
+    /// cycle simulator charges — agreement is by construction, and a
+    /// pinning test on the explore side turns any deliberate change
+    /// here into a visible model-side decision.
+    pub const DEFAULT: MemLatency = MemLatency {
+        l1: 3,
+        l2: 14,
+        mem: 140,
+    };
+}
+
 impl Default for MemLatency {
     fn default() -> Self {
-        MemLatency {
-            l1: 3,
-            l2: 14,
-            mem: 140,
-        }
+        Self::DEFAULT
     }
 }
 

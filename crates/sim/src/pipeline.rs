@@ -193,9 +193,17 @@ impl SimResult {
 }
 
 /// Frontend refill penalty after a redirect (decode pipeline depth).
-const REDIRECT_REFILL: u64 = 14;
+///
+/// Public so the interval model in `cisa-explore` can derive its
+/// redirect stall constant from the simulator's charge instead of
+/// duplicating the value by comment.
+pub const REDIRECT_REFILL: u64 = 14;
 /// Extra refill when the redirect target misses the micro-op cache.
-const REDIRECT_DECODE_EXTRA: u64 = 4;
+///
+/// Public for the same single-sourcing reason as [`REDIRECT_REFILL`];
+/// the analytic model charges half of it (average over uop-cache
+/// hit/miss redirect targets).
+pub const REDIRECT_DECODE_EXTRA: u64 = 4;
 
 struct FuPool {
     free: Vec<u64>,
