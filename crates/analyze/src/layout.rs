@@ -1,0 +1,108 @@
+//! Function layout: compiled blocks to one contiguous, *patched* byte
+//! image.
+//!
+//! The encoder emits deterministic placeholder bytes for branch
+//! displacements (compiled blocks reference each other by block id,
+//! not by offset). The analyzer consumes raw bytes, so this step does
+//! what a linker's final layout pass would: place blocks in id order,
+//! then rewrite every branch/jump immediate as a rel32 displacement
+//! anchored at the end of the instruction. Conditional branches encode
+//! their *taken* target; when the *not-taken* successor is not the
+//! next block in layout order, an extra unconditional jump is appended
+//! (so the image can be bigger than `CodeStats::code_bytes`, which
+//! counts compiled bytes only). Call displacements stay placeholder:
+//! call targets are external to a single-function image.
+
+use cisa_compiler::code::terminator_inst;
+use cisa_compiler::ir::Terminator;
+use cisa_compiler::CompiledCode;
+use cisa_isa::{Encoder, FeatureSet, IsaError, MachineInst};
+
+/// A laid-out, branch-patched single-function byte image.
+#[derive(Debug, Clone)]
+pub struct FunctionImage {
+    /// Source function name.
+    pub name: String,
+    /// Feature set the code was compiled for.
+    pub fs: FeatureSet,
+    /// The contiguous machine-code bytes.
+    pub bytes: Vec<u8>,
+    /// Byte offset of each compiled block (indexed by block id).
+    pub block_offsets: Vec<usize>,
+}
+
+/// Lays out compiled code into a patched image.
+///
+/// # Errors
+///
+/// Propagates encoding failures ([`IsaError`]); verified compiled code
+/// never produces one.
+pub fn lay_out(code: &CompiledCode) -> Result<FunctionImage, IsaError> {
+    let enc = Encoder::new(code.fs);
+    let mut chunks: Vec<Vec<u8>> = Vec::with_capacity(code.blocks.len());
+    // (chunk index, imm position within chunk, target block id)
+    let mut patches: Vec<(usize, usize, usize)> = Vec::new();
+
+    let encode_control = |chunk: &mut Vec<u8>, inst: &MachineInst| -> Result<(), IsaError> {
+        let e = enc
+            .encode(inst)
+            .map_err(|source| IsaError::Encode { index: 0, source })?;
+        chunk.extend_from_slice(&e.bytes);
+        Ok(())
+    };
+
+    for (bi, block) in code.blocks.iter().enumerate() {
+        let mut chunk = enc.encode_stream(&block.insts)?;
+        match &block.term {
+            Terminator::Branch {
+                taken, not_taken, ..
+            } => {
+                if let Some(inst) = terminator_inst(&block.term) {
+                    encode_control(&mut chunk, &inst)?;
+                    patches.push((bi, chunk.len() - 4, taken.idx()));
+                }
+                if not_taken.idx() != bi + 1 {
+                    encode_control(&mut chunk, &MachineInst::jump())?;
+                    patches.push((bi, chunk.len() - 4, not_taken.idx()));
+                }
+            }
+            Terminator::Jump(t) => {
+                if let Some(inst) = terminator_inst(&block.term) {
+                    encode_control(&mut chunk, &inst)?;
+                    patches.push((bi, chunk.len() - 4, t.idx()));
+                }
+            }
+            Terminator::Ret => {
+                if let Some(inst) = terminator_inst(&block.term) {
+                    encode_control(&mut chunk, &inst)?;
+                }
+            }
+        }
+        chunks.push(chunk);
+    }
+
+    let mut block_offsets = Vec::with_capacity(chunks.len());
+    let mut total = 0usize;
+    for c in &chunks {
+        block_offsets.push(total);
+        total += c.len();
+    }
+
+    let mut bytes = Vec::with_capacity(total);
+    for c in &chunks {
+        bytes.extend_from_slice(c);
+    }
+    for (chunk, pos, target) in patches {
+        let imm_pos = block_offsets[chunk] + pos;
+        let anchor = imm_pos + 4; // displacement is relative to inst end
+        let rel = block_offsets[target] as i64 - anchor as i64;
+        bytes[imm_pos..imm_pos + 4].copy_from_slice(&(rel as i32).to_le_bytes());
+    }
+
+    Ok(FunctionImage {
+        name: code.name.clone(),
+        fs: code.fs,
+        bytes,
+        block_offsets,
+    })
+}

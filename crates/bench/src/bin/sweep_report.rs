@@ -108,6 +108,30 @@ fn read_one_response(stream: &mut std::net::TcpStream) {
     }
 }
 
+/// Runs the static analyzer over a few compiled phases so the
+/// `analyze/*` spans and counters (`analyze/cfg`, `analyze/dataflow`,
+/// `analyze/dataflow/iters`, `analyze/migration_points`) land in the
+/// snapshot next to the sweep's own metrics.
+fn analyze_smoke() -> (usize, usize) {
+    let fs = cisa_isa::FeatureSet::superset();
+    let options = cisa_compiler::CompileOptions::default();
+    let mut analyzed = 0usize;
+    let mut points = 0usize;
+    for spec in all_phases().iter().take(8) {
+        let code = cisa_compiler::compile(&cisa_workloads::generate(spec), &fs, &options)
+            .expect("phase compiles");
+        let image = cisa_analyze::lay_out(&code).expect("layout");
+        let analysis = cisa_analyze::analyze(&image.bytes);
+        assert!(
+            analysis.errors().next().is_none(),
+            "clean compile must analyze clean"
+        );
+        analyzed += 1;
+        points += analysis.points.points.len();
+    }
+    (analyzed, points)
+}
+
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let smoke = std::env::args().any(|a| a == "--serve-smoke");
@@ -122,6 +146,7 @@ fn main() {
     if smoke {
         serve_smoke(DesignSpace::new(), &table);
     }
+    let (analyzed, analyze_points) = analyze_smoke();
     let wall = started.elapsed().as_secs_f64();
     let snap = cisa_obs::snapshot();
 
@@ -154,5 +179,11 @@ fn main() {
             fill_ns as f64 / 1e9
         );
     }
+    println!(
+        "static analysis: {} images, {} migration points, {} dataflow iterations",
+        analyzed,
+        analyze_points,
+        snap.counter("analyze/dataflow/iters")
+    );
     print!("{}", obs_report::render(&snap, wall));
 }

@@ -32,12 +32,19 @@ pub struct Disassembled {
     pub reg: Option<u8>,
     /// ModRM `rm` field or memory base (extended likewise).
     pub rm: Option<u8>,
+    /// SIB index register (extended likewise), when the instruction has
+    /// a base+index addressing mode.
+    pub index: Option<u8>,
     /// Addressing mode, if the instruction has a memory operand.
     pub mode: Option<AddressingMode>,
     /// Displacement width in bytes.
     pub disp_bytes: u8,
     /// Immediate width in bytes.
     pub imm_bytes: u8,
+    /// Immediate value, sign-extended from its encoded width (0 when
+    /// `imm_bytes` is 0). Branch/jump/call displacements are relative to
+    /// the end of the instruction.
+    pub imm: i32,
 }
 
 impl fmt::Display for Disassembled {
@@ -66,8 +73,10 @@ impl fmt::Display for Disassembled {
 fn opcode_of(first: u8, second: Option<u8>) -> Option<(MacroOpcode, bool, u8)> {
     Some(match (first, second) {
         (0x89, _) => (MacroOpcode::Mov, true, 0),
-        (0xB0, _) => (MacroOpcode::Mov, false, 1),
-        (0xB8, _) => (MacroOpcode::Mov, false, 4),
+        // B0+rb / B8+rd: the mov-immediate destination register's low 3
+        // bits live in the opcode byte, like real x86.
+        (0xB0..=0xB7, _) => (MacroOpcode::Mov, false, 1),
+        (0xB8..=0xBF, _) => (MacroOpcode::Mov, false, 4),
         (0xC6, _) => (MacroOpcode::Mov, true, 1),
         (0xC7, _) => (MacroOpcode::Mov, true, 4),
         (0x01, _) => (MacroOpcode::IntAlu, true, 0),
@@ -135,30 +144,44 @@ pub fn disassemble(bytes: &[u8]) -> Result<Disassembled, DecodeError> {
         opcode_of(b, None).ok_or(DecodeError::UnknownOpcode(b))?
     };
 
+    // Reassemble extended register numbers: 3 ModRM/SIB/opcode bits +
+    // 1 REX bit + 2 REXBC bits.
+    let rex_r = (rex >> 2) & 1;
+    let rex_x = (rex >> 1) & 1;
+    let rex_b = rex & 1;
+    let bc_r = (rexbc_payload >> 6) & 0x3;
+    let bc_x = (rexbc_payload >> 4) & 0x3;
+    let bc_b = (rexbc_payload >> 2) & 0x3;
+
     let mut reg = None;
     let mut rm = None;
+    let mut index = None;
     let mut mode = None;
     let mut disp_bytes = 0u8;
+    if !has_modrm && (0xB0..=0xBF).contains(&b) {
+        // B0+rb / B8+rd mov-immediate: the destination's low 3 bits sit
+        // in the opcode byte; its high bits borrow the REX.b / REXBC
+        // base-extension bits (there is no rm operand to collide with).
+        reg = Some((b & 0x7) | (rex_b << 3) | (bc_b << 4));
+    }
     if has_modrm {
         let modrm = next(&mut pos)?;
         let mod_bits = modrm >> 6;
         let reg_low = (modrm >> 3) & 0x7;
         let rm_low = modrm & 0x7;
-        // Reassemble extended register numbers: 3 ModRM bits + 1 REX
-        // bit + 2 REXBC bits.
-        let rex_r = (rex >> 2) & 1;
-        let rex_b = rex & 1;
-        let bc_r = (rexbc_payload >> 6) & 0x3;
-        let bc_b = (rexbc_payload >> 2) & 0x3;
         reg = Some(reg_low | (rex_r << 3) | (bc_r << 4));
         let mut base = rm_low | (rex_b << 3) | (bc_b << 4);
         if mod_bits != 0b11 && rm_low == 0b100 {
             let sib = next(&mut pos)?;
             let sib_base = sib & 0x7;
             base = sib_base | (rex_b << 3) | (bc_b << 4);
-            mode = Some(if (sib >> 3) & 0x7 == 0b100 {
+            // SIB index 0b100 with no extension bits means "no index"
+            // (the encoder's escape for base-only forms).
+            let full_index = ((sib >> 3) & 0x7) | (rex_x << 3) | (bc_x << 4);
+            mode = Some(if full_index == 0b100 {
                 AddressingMode::BaseOnly
             } else {
+                index = Some(full_index);
                 AddressingMode::BaseIndexScaleDisp
             });
         }
@@ -186,9 +209,15 @@ pub fn disassemble(bytes: &[u8]) -> Result<Disassembled, DecodeError> {
             next(&mut pos)?;
         }
     }
+    let imm_start = pos;
     for _ in 0..imm_bytes {
         next(&mut pos)?;
     }
+    let imm = match bytes.get(imm_start..pos) {
+        Some(&[b0]) => b0 as i8 as i32,
+        Some(&[b0, b1, b2, b3]) => i32::from_le_bytes([b0, b1, b2, b3]),
+        _ => 0,
+    };
 
     Ok(Disassembled {
         opcode,
@@ -199,10 +228,51 @@ pub fn disassemble(bytes: &[u8]) -> Result<Disassembled, DecodeError> {
         predicate,
         reg,
         rm,
+        index,
         mode,
         disp_bytes,
         imm_bytes,
+        imm,
     })
+}
+
+/// A disassembled instruction together with its byte position in the
+/// stream it came from.
+///
+/// The offsets are the stable program-point coordinates static analyses
+/// key on (CFG leaders, migration points): `offset` is the first byte
+/// of the instruction and `offset + inst.len` is the first byte of its
+/// successor, so branch targets resolve without re-deriving lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpannedInst {
+    /// Byte offset of the instruction's first byte within the stream.
+    pub offset: usize,
+    /// The disassembled instruction (its `len` gives the span width).
+    pub inst: Disassembled,
+}
+
+/// Disassembles a whole stream, recording each instruction's byte
+/// offset.
+///
+/// # Errors
+///
+/// Fails on the first undecodable instruction. The [`StreamError`]
+/// reports the failing instruction's index and how many bytes were
+/// consumed by the instructions that decoded cleanly before it.
+pub fn disassemble_stream_with_offsets(mut bytes: &[u8]) -> Result<Vec<SpannedInst>, StreamError> {
+    let mut out: Vec<SpannedInst> = Vec::new();
+    let mut offset = 0usize;
+    while !bytes.is_empty() {
+        let inst = disassemble(bytes).map_err(|source| StreamError {
+            offset,
+            index: out.len(),
+            source,
+        })?;
+        out.push(SpannedInst { offset, inst });
+        offset += inst.len as usize;
+        bytes = &bytes[inst.len as usize..];
+    }
+    Ok(out)
 }
 
 /// Disassembles a whole stream.
@@ -212,20 +282,11 @@ pub fn disassemble(bytes: &[u8]) -> Result<Disassembled, DecodeError> {
 /// Fails on the first undecodable instruction. The [`StreamError`]
 /// reports the failing instruction's index and how many bytes were
 /// consumed by the instructions that decoded cleanly before it.
-pub fn disassemble_stream(mut bytes: &[u8]) -> Result<Vec<Disassembled>, StreamError> {
-    let mut out = Vec::new();
-    let mut offset = 0usize;
-    while !bytes.is_empty() {
-        let d = disassemble(bytes).map_err(|source| StreamError {
-            offset,
-            index: out.len(),
-            source,
-        })?;
-        offset += d.len as usize;
-        bytes = &bytes[d.len as usize..];
-        out.push(d);
-    }
-    Ok(out)
+pub fn disassemble_stream(bytes: &[u8]) -> Result<Vec<Disassembled>, StreamError> {
+    Ok(disassemble_stream_with_offsets(bytes)?
+        .into_iter()
+        .map(|s| s.inst)
+        .collect())
 }
 
 #[cfg(test)]
@@ -353,6 +414,130 @@ mod tests {
         assert_eq!(ds.len(), 3);
         assert_eq!(ds[1].opcode, MacroOpcode::Branch);
         assert_eq!(ds[2].opcode, MacroOpcode::Jump);
+        Ok(())
+    }
+
+    #[test]
+    fn stream_offsets_roundtrip_encoded_lengths() -> Result<(), IsaError> {
+        // Pin: `disassemble_stream_with_offsets` reports exactly the
+        // offsets at which the encoder placed each instruction (the
+        // prefix sums of the encoded lengths), so CFG leader detection
+        // can key on them without re-deriving lengths.
+        let enc = Encoder::new(FeatureSet::superset());
+        let insts = [
+            MachineInst::compute(
+                MacroOpcode::IntAlu,
+                ArchReg::gpr(40),
+                Operand::Reg(ArchReg::gpr(2)),
+                Operand::None,
+            ),
+            MachineInst::compute(
+                MacroOpcode::Mov,
+                ArchReg::gpr(3),
+                Operand::Imm(4),
+                Operand::None,
+            ),
+            MachineInst::load(
+                ArchReg::gpr(1),
+                MemOperand::base_disp(ArchReg::gpr(20), 4, MemLocality::Stream),
+            ),
+            MachineInst::branch(),
+            MachineInst::jump(),
+        ];
+        let mut stream = Vec::new();
+        let mut expected = Vec::new();
+        for i in &insts {
+            expected.push(stream.len());
+            stream.extend_from_slice(
+                &enc.encode(i)
+                    .map_err(|source| IsaError::Encode { index: 0, source })?
+                    .bytes,
+            );
+        }
+        let spanned = disassemble_stream_with_offsets(&stream)?;
+        let offsets: Vec<usize> = spanned.iter().map(|s| s.offset).collect();
+        assert_eq!(offsets, expected);
+        let last = spanned.last().expect("non-empty stream");
+        assert_eq!(last.offset + last.inst.len as usize, stream.len());
+        // The plain stream API stays a projection of the spanned one.
+        let plain = disassemble_stream(&stream)?;
+        let projected: Vec<Disassembled> = spanned.iter().map(|s| s.inst).collect();
+        assert_eq!(plain, projected);
+        Ok(())
+    }
+
+    #[test]
+    fn mov_immediate_recovers_destination() -> Result<(), IsaError> {
+        // The B0+rb / B8+rd forms carry the destination in the opcode
+        // byte plus the REX.b / REXBC base-extension bits.
+        for dst in [0u8, 3, 7, 9, 15, 20, 45, 63] {
+            let i = MachineInst::compute(
+                MacroOpcode::Mov,
+                ArchReg::gpr(dst),
+                Operand::Imm(4),
+                Operand::None,
+            );
+            let d = roundtrip(&i)?;
+            assert_eq!(d.reg, Some(dst), "mov-imm dst {dst}");
+            assert_eq!(d.imm_bytes, 4);
+        }
+        let i8form = MachineInst::compute(
+            MacroOpcode::Mov,
+            ArchReg::gpr(11),
+            Operand::Imm(1),
+            Operand::None,
+        );
+        let d = roundtrip(&i8form)?;
+        assert_eq!(d.reg, Some(11));
+        assert_eq!(d.imm_bytes, 1);
+        Ok(())
+    }
+
+    #[test]
+    fn recovers_sib_index_register() -> Result<(), IsaError> {
+        for idx in [3u8, 12, 20, 36] {
+            let i = MachineInst::load(
+                ArchReg::gpr(1),
+                MemOperand::base_index(ArchReg::gpr(2), ArchReg::gpr(idx), 4, MemLocality::Stream),
+            );
+            let d = roundtrip(&i)?;
+            assert_eq!(
+                d.mode,
+                Some(AddressingMode::BaseIndexScaleDisp),
+                "idx {idx}"
+            );
+            assert_eq!(d.index, Some(idx), "idx {idx}");
+        }
+        // Base-only forms report no index.
+        let plain = MachineInst::load(
+            ArchReg::gpr(1),
+            MemOperand::base_only(ArchReg::gpr(4), MemLocality::Stack),
+        );
+        let d = roundtrip(&plain)?;
+        assert_eq!(d.index, None);
+        Ok(())
+    }
+
+    #[test]
+    fn recovers_immediate_values() -> Result<(), IsaError> {
+        // The encoder emits deterministic placeholder immediates
+        // (0x20, 0x21, ...); the disassembler must read them back as a
+        // little-endian signed value.
+        let i = MachineInst::compute(
+            MacroOpcode::IntAlu,
+            ArchReg::gpr(1),
+            Operand::Imm(4),
+            Operand::None,
+        );
+        let d = roundtrip(&i)?;
+        assert_eq!(d.imm, i32::from_le_bytes([0x20, 0x21, 0x22, 0x23]));
+        // Sign extension of one-byte immediates.
+        let neg = disassemble(&[0x83, 0xC8, 0xFF]).map_err(|source| StreamError {
+            offset: 0,
+            index: 0,
+            source,
+        })?;
+        assert_eq!(neg.imm, -1);
         Ok(())
     }
 

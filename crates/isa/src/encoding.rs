@@ -289,11 +289,13 @@ fn opcode_info_for(first: u8, second: Option<u8>) -> Option<OpcodeInfo> {
             has_modrm: true,
             imm_bytes: 4,
         },
-        (0xB0, _) => OpcodeInfo {
+        // B0+rb / B8+rd: the register-form mov-immediate embeds its
+        // destination in the opcode byte's low 3 bits.
+        (0xB0..=0xB7, _) => OpcodeInfo {
             has_modrm: false,
             imm_bytes: 1,
         },
-        (0xB8, _) => OpcodeInfo {
+        (0xB8..=0xBF, _) => OpcodeInfo {
             has_modrm: false,
             imm_bytes: 4,
         },
@@ -418,6 +420,16 @@ impl Encoder {
         }
         let (op_bytes, info) = opcode_bytes(inst.opcode, imm);
         bytes.extend_from_slice(op_bytes);
+        // The register-form mov-immediate (B0+rb / B8+rd, no ModRM)
+        // carries its destination in the opcode byte's low 3 bits; the
+        // high bits ride the REX.b / REXBC base-extension bits via
+        // `rm_register`. Without this the destination would be invisible
+        // to the disassembler.
+        if !info.has_modrm && matches!(op_bytes, [0xB0] | [0xB8]) {
+            if let (Some(dst), Some(last)) = (inst.dst, bytes.last_mut()) {
+                *last |= dst.index() & 0x7;
+            }
+        }
 
         let mut has_modrm = false;
         let mut has_sib = false;
@@ -483,6 +495,14 @@ impl Encoder {
     /// and REXBC base extension bits must cover exactly this register or
     /// high-register encodings collide.
     fn rm_register(inst: &MachineInst) -> Option<ArchReg> {
+        let imm = inst.src1.imm_bytes().max(inst.src2.imm_bytes());
+        if inst.opcode == MacroOpcode::Mov && inst.mem.is_none() && imm > 0 {
+            // Register-form mov-immediate (B0+rb / B8+rd): there is no
+            // rm operand (any register source is dropped by the form),
+            // so the base-extension bits cover the opcode-embedded
+            // destination's high bits.
+            return inst.dst;
+        }
         inst.mem
             .map(|m| m.base)
             .or(inst.src2.reg())
@@ -965,6 +985,22 @@ mod tests {
         );
         roundtrip(&a, fs);
         roundtrip(&b, fs);
+    }
+
+    #[test]
+    fn mov_immediate_destinations_encode_distinctly() {
+        // B0+rb / B8+rd: every destination register must produce a
+        // distinct byte sequence (low bits in the opcode byte, high bits
+        // in REX.b / REXBC base extension), at unchanged length per
+        // prefix tier.
+        let enc = Encoder::new(FeatureSet::superset());
+        let mut seen = std::collections::HashSet::new();
+        for dst in 0..ArchReg::MAX_GPRS {
+            let i = MachineInst::compute(MacroOpcode::Mov, r(dst), Operand::Imm(4), Operand::None);
+            let e = enc.encode(&i).expect("mov-imm encodes");
+            assert!(seen.insert(e.bytes.clone()), "dst r{dst} collides");
+            roundtrip(&i, FeatureSet::superset());
+        }
     }
 
     #[test]

@@ -50,7 +50,9 @@ pub mod riscv;
 pub mod uop;
 pub mod vendor;
 
-pub use disasm::{disassemble, disassemble_stream, Disassembled};
+pub use disasm::{
+    disassemble, disassemble_stream, disassemble_stream_with_offsets, Disassembled, SpannedInst,
+};
 pub use encoding::{DecodeError, EncodeError, EncodedInst, Encoder, InstLengthDecoder};
 pub use error::{IsaError, StreamError};
 pub use feature_set::{

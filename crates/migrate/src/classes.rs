@@ -71,8 +71,11 @@ impl fmt::Display for MigrationClass {
 pub struct MigrationCost {
     /// The cost class.
     pub class: MigrationClass,
-    /// The feature dimensions the target must emulate (empty iff
-    /// [`MigrationClass::Native`]).
+    /// The feature dimensions the target must emulate. Empty iff the
+    /// class is [`MigrationClass::Native`] when produced by
+    /// [`classify_migration`]; a map-refined cost
+    /// ([`crate::classify_migration_with`]) may prove a cheaper class
+    /// while keeping the feature-set-level gaps for reference.
     pub gaps: Vec<DowngradeGap>,
 }
 

@@ -22,8 +22,10 @@ pub mod classes;
 pub mod downgrade;
 pub mod error;
 pub mod migration;
+pub mod points;
 
 pub use classes::{classify_migration, MigrationClass, MigrationCost};
 pub use downgrade::{downgrade_cost, emulate, EmulationStats};
 pub use error::MigrateError;
 pub use migration::{MigrationConfig, MigrationReport, MigrationSim};
+pub use points::{classify_migration_with, MigrationPoint, MigrationPointMap};

@@ -1,5 +1,5 @@
 //! Request handlers: routing, request decoding, ranking, and response
-//! rendering for the four service endpoints.
+//! rendering for the five service endpoints.
 //!
 //! Handlers are pure functions from `(state, request)` to a [`Reply`]
 //! (status, JSON body, optional `Retry-After`) — the transport loop in
@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cisa_explore::DesignId;
-use cisa_migrate::classify_migration;
+use cisa_migrate::{classify_migration, classify_migration_with};
 use cisa_power::CLOCK_HZ;
 use cisa_sim::ExecSemantics;
 use cisa_workloads::{BranchStyle, PhaseSpec};
@@ -53,12 +53,15 @@ pub fn handle(state: &Arc<ServerState>, req: &Request) -> Reply {
         ("GET", "/v1/designs") => designs(state, req).into(),
         ("GET", "/v1/metrics") => metrics(state).into(),
         ("POST", "/v1/affinity") => affinity(state, req),
-        (_, "/healthz" | "/v1/designs" | "/v1/metrics" | "/v1/affinity") => error_response(
-            405,
-            "method_not_allowed",
-            &format!("{} is not supported on {}", req.method, req.path),
-        )
-        .into(),
+        ("POST", "/v1/analyze") => analyze_code(state, req),
+        (_, "/healthz" | "/v1/designs" | "/v1/metrics" | "/v1/affinity" | "/v1/analyze") => {
+            error_response(
+                405,
+                "method_not_allowed",
+                &format!("{} is not supported on {}", req.method, req.path),
+            )
+            .into()
+        }
         _ => error_response(404, "not_found", &format!("no route for {}", req.path)).into(),
     }
 }
@@ -293,30 +296,9 @@ fn affinity(state: &Arc<ServerState>, req: &Request) -> Reply {
         return error_response(400, "bad_request", "request body must be a JSON object").into();
     }
 
-    // Resolve the phase: a known name, or an inline spec.
-    let spec = match (root.get("phase"), root.get("spec")) {
-        (Some(_), Some(_)) => {
-            return error_response(400, "bad_request", "give either phase or spec, not both").into()
-        }
-        (Some(p), None) => {
-            let Some(name) = p.as_str() else {
-                return error_response(400, "bad_request", "phase must be a string").into();
-            };
-            match state.phase_spec(name) {
-                Some(s) => s.clone(),
-                None => {
-                    return error_response(404, "unknown_phase", &format!("no phase {name:?}"))
-                        .into()
-                }
-            }
-        }
-        (None, Some(s)) => match parse_spec(s) {
-            Ok(spec) => spec,
-            Err(msg) => return error_response(400, "bad_spec", &msg).into(),
-        },
-        (None, None) => {
-            return error_response(400, "bad_request", "request needs a phase or a spec").into()
-        }
+    let spec = match resolve_spec(state, &root) {
+        Ok(s) => s,
+        Err(reply) => return reply,
     };
 
     let objective = match root.get("objective").and_then(Json::as_str) {
@@ -510,6 +492,155 @@ fn affinity(state: &Arc<ServerState>, req: &Request) -> Reply {
         w.end_obj();
     }
     w.end_arr().end_obj();
+    (200, w.finish()).into()
+}
+
+/// Resolves the `phase` / `spec` members shared by the POST query
+/// endpoints: a known phase name, or an inline spec — exactly one.
+fn resolve_spec(state: &Arc<ServerState>, root: &Json) -> Result<PhaseSpec, Reply> {
+    match (root.get("phase"), root.get("spec")) {
+        (Some(_), Some(_)) => {
+            Err(error_response(400, "bad_request", "give either phase or spec, not both").into())
+        }
+        (Some(p), None) => {
+            let Some(name) = p.as_str() else {
+                return Err(error_response(400, "bad_request", "phase must be a string").into());
+            };
+            match state.phase_spec(name) {
+                Some(s) => Ok(s.clone()),
+                None => {
+                    Err(error_response(404, "unknown_phase", &format!("no phase {name:?}")).into())
+                }
+            }
+        }
+        (None, Some(s)) => {
+            parse_spec(s).map_err(|msg| error_response(400, "bad_spec", &msg).into())
+        }
+        (None, None) => {
+            Err(error_response(400, "bad_request", "request needs a phase or a spec").into())
+        }
+    }
+}
+
+/// `POST /v1/analyze` — compile a phase for one feature set, run the
+/// static analyzer over the laid-out bytes, and report the recovered
+/// facts plus, per migration target, the conservative migration class
+/// next to the statically-refined one.
+fn analyze_code(state: &Arc<ServerState>, req: &Request) -> Reply {
+    let _span = cisa_obs::span("analyze/handler");
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return error_response(400, "bad_request", "body is not UTF-8").into(),
+    };
+    let root = match parse(body) {
+        Ok(v) => v,
+        Err(e) => return error_response(400, "bad_json", &e.to_string()).into(),
+    };
+    if root.as_obj().is_none() {
+        return error_response(400, "bad_request", "request body must be a JSON object").into();
+    }
+    let spec = match resolve_spec(state, &root) {
+        Ok(s) => s,
+        Err(reply) => return reply,
+    };
+    let fs: cisa_isa::FeatureSet = match root.get("feature_set").and_then(Json::as_str) {
+        Some(s) => match s.parse() {
+            Ok(f) => f,
+            Err(_) => {
+                return error_response(400, "bad_request", "feature_set is not a feature set")
+                    .into()
+            }
+        },
+        None => return error_response(400, "bad_request", "request needs a feature_set").into(),
+    };
+
+    let ir = cisa_workloads::generate(&spec);
+    let code = match cisa_compiler::compile(&ir, &fs, &cisa_compiler::CompileOptions::default()) {
+        Ok(c) => c,
+        Err(e) => return error_response(500, "compile_failed", &e.to_string()).into(),
+    };
+    let image = match cisa_analyze::lay_out(&code) {
+        Ok(im) => im,
+        Err(e) => return error_response(500, "layout_failed", &e.to_string()).into(),
+    };
+    let analysis = cisa_analyze::analyze(&image.bytes);
+
+    let mut w = JsonWriter::new();
+    w.begin_obj()
+        .key("phase")
+        .str_val(&spec.name())
+        .key("feature_set")
+        .str_val(&fs.to_string())
+        .key("instructions")
+        .uint(analysis.inst_count as u64)
+        .key("code_bytes")
+        .uint(image.bytes.len() as u64);
+    w.key("minimal_feature_set");
+    match analysis.minimal_fs {
+        Some(min) => w.str_val(&min.to_string()),
+        None => w.raw("null"),
+    };
+    w.key("covered")
+        .bool_val(analysis.minimal_fs.is_some_and(|min| fs.covers(&min)));
+    w.key("cfg")
+        .begin_obj()
+        .key("blocks")
+        .uint(analysis.cfg.blocks.len() as u64)
+        .key("reachable")
+        .uint(analysis.cfg.reachable_blocks() as u64)
+        .key("escaping")
+        .bool_val(analysis.cfg.escaping)
+        .key("external_calls")
+        .uint(analysis.cfg.external_calls as u64)
+        .end_obj();
+    w.key("dataflow")
+        .begin_obj()
+        .key("iters")
+        .uint(analysis.dataflow.iters)
+        .key("max_reaching_defs")
+        .uint(analysis.dataflow.max_reaching_defs as u64)
+        .end_obj();
+    w.key("migration_points")
+        .uint(analysis.points.points.len() as u64);
+    w.key("findings").begin_arr();
+    for f in &analysis.findings {
+        w.begin_obj().key("rule").str_val(f.rule).key("severity");
+        w.str_val(match f.severity {
+            cisa_analyze::Severity::Error => "error",
+            cisa_analyze::Severity::Advisory => "advisory",
+        });
+        if let Some(o) = f.offset {
+            w.key("offset").uint(o as u64);
+        }
+        w.key("detail").str_val(&f.detail).end_obj();
+    }
+    w.end_arr();
+
+    // Per-target migration pricing: the conservative feature-set-level
+    // class next to what the migration-point map statically proves.
+    let mut refined_pairs = 0u64;
+    w.key("targets").begin_arr();
+    for target in &state.space.feature_sets {
+        let base = classify_migration(fs, *target);
+        let refined = classify_migration_with(fs, *target, Some(&analysis.points));
+        if refined.class < base.class {
+            refined_pairs += 1;
+        }
+        w.begin_obj()
+            .key("feature_set")
+            .str_val(&target.to_string())
+            .key("conservative")
+            .str_val(base.class.name())
+            .key("refined")
+            .str_val(refined.class.name())
+            .key("improved")
+            .bool_val(refined.class < base.class)
+            .end_obj();
+    }
+    w.end_arr()
+        .key("refined_pairs")
+        .uint(refined_pairs)
+        .end_obj();
     (200, w.finish()).into()
 }
 

@@ -395,3 +395,64 @@ fn metrics_endpoint_exposes_request_counters() {
         "serve/request counter is live: {counters:?}"
     );
 }
+
+#[test]
+fn analyze_endpoint_reports_facts_and_refined_classes() {
+    let fx = fixture();
+    let server = start_server();
+    let phase = fx.phases[0].name();
+    let body = format!(r#"{{"phase":"{phase}","feature_set":"x86-64D-64W-P"}}"#);
+    let (status, text) = request(server.addr(), "POST", "/v1/analyze", &body);
+    assert_eq!(status, 200, "{text}");
+    let v = parse(&text).expect("valid JSON");
+    assert_eq!(v.get("phase").and_then(Json::as_str), Some(phase.as_str()));
+    // The compiled superset image decodes and its minimal needs fit.
+    assert_eq!(v.get("covered"), Some(&Json::Bool(true)));
+    assert!(v
+        .get("minimal_feature_set")
+        .and_then(Json::as_str)
+        .is_some());
+    let cfg = v.get("cfg").expect("cfg");
+    assert!(cfg.get("blocks").and_then(Json::as_f64).unwrap_or(0.0) >= 1.0);
+    let targets = v.get("targets").and_then(Json::as_arr).expect("targets");
+    assert_eq!(targets.len(), 26);
+    for t in targets {
+        let base = t.get("conservative").and_then(Json::as_str).expect("base");
+        let refined = t.get("refined").and_then(Json::as_str).expect("refined");
+        let order = |c: &str| match c {
+            "native" => 0,
+            "transforming" => 1,
+            _ => 2,
+        };
+        assert!(
+            order(refined) <= order(base),
+            "refinement went pessimistic: {t:?}"
+        );
+    }
+    // Findings carry registry rule names only.
+    for f in v.get("findings").and_then(Json::as_arr).expect("findings") {
+        let rule = f.get("rule").and_then(Json::as_str).expect("rule");
+        assert!(
+            cisa_analyze::ANALYZE_RULES.contains(&rule),
+            "unknown rule {rule}"
+        );
+    }
+
+    // Input validation: missing feature set, unknown phase.
+    let (status, _) = request(
+        server.addr(),
+        "POST",
+        "/v1/analyze",
+        &format!(r#"{{"phase":"{phase}"}}"#),
+    );
+    assert_eq!(status, 400);
+    let (status, _) = request(
+        server.addr(),
+        "POST",
+        "/v1/analyze",
+        r#"{"phase":"nope","feature_set":"x86-64D-64W-P"}"#,
+    );
+    assert_eq!(status, 404);
+    let (status, _) = request(server.addr(), "GET", "/v1/analyze", "");
+    assert_eq!(status, 405);
+}
