@@ -299,6 +299,15 @@ impl PerfTable {
         self.entries[(phase * self.n_fs + id.fs as usize) * self.n_ua + id.ua as usize]
     }
 
+    /// The full per-phase column of one composite design point:
+    /// `out[p] == self.get(p, id)` for every phase row. Fleet-scale
+    /// consumers (the `cisa-fleet` scheduler) extract one contiguous
+    /// column per distinct core design instead of calling
+    /// [`PerfTable::get`] in their event loops.
+    pub fn design_column(&self, id: DesignId) -> Vec<PhasePerf> {
+        (0..self.n_phases).map(|p| self.get(p, id)).collect()
+    }
+
     /// Looks up a vendor-ISA design point for a phase.
     #[inline]
     pub fn vendor(&self, phase: usize, vendor: VendorIsa, ua: usize) -> PhasePerf {

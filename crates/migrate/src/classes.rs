@@ -48,6 +48,15 @@ pub enum MigrationClass {
 }
 
 impl MigrationClass {
+    /// Every class, in ascending cost order. Dense tabulations (the
+    /// fleet scheduler's per-phase class tensor, per-class counters)
+    /// iterate and index through this array.
+    pub const ALL: [MigrationClass; 3] = [
+        MigrationClass::Native,
+        MigrationClass::Transforming,
+        MigrationClass::StateTransforming,
+    ];
+
     /// Stable lowercase identifier used in JSON responses and METRICS
     /// documentation.
     pub fn name(self) -> &'static str {
@@ -56,6 +65,20 @@ impl MigrationClass {
             MigrationClass::Transforming => "transforming",
             MigrationClass::StateTransforming => "state_transforming",
         }
+    }
+
+    /// Dense index into [`MigrationClass::ALL`] (cost order).
+    pub fn index(self) -> usize {
+        match self {
+            MigrationClass::Native => 0,
+            MigrationClass::Transforming => 1,
+            MigrationClass::StateTransforming => 2,
+        }
+    }
+
+    /// Inverse of [`MigrationClass::index`]; `None` out of range.
+    pub fn from_index(i: usize) -> Option<MigrationClass> {
+        MigrationClass::ALL.get(i).copied()
     }
 }
 
